@@ -1,0 +1,201 @@
+// Package freezetag_test is the benchmark harness of the reproduction: one
+// benchmark per table/figure of the paper (regenerating the experiment and
+// reporting its headline quantity as a custom metric), plus micro-benchmarks
+// of the substrates (simulator, disk-graph analytics, exploration planning,
+// wake-up trees) for -benchmem profiling.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The full experiment tables (with CSVs) come from: go run ./cmd/dftp-bench
+// -scale full.
+package freezetag_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"freezetag/internal/dftp"
+	"freezetag/internal/diskgraph"
+	"freezetag/internal/experiments"
+	"freezetag/internal/explore"
+	"freezetag/internal/geom"
+	"freezetag/internal/instance"
+	"freezetag/internal/report"
+	"freezetag/internal/sim"
+	"freezetag/internal/spatial"
+	"freezetag/internal/wakeup"
+)
+
+// benchExperiment runs one experiment generator per iteration and fails the
+// benchmark on any error.
+func benchExperiment(b *testing.B, fn func(experiments.Scale) (*report.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb, err := fn(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tb.NumRows() == 0 {
+			b.Fatal("empty experiment table")
+		}
+	}
+}
+
+// --- Table 1 rows -------------------------------------------------------------
+
+func BenchmarkTable1_ASeparatorRho(b *testing.B)   { benchExperiment(b, experiments.E1RhoSweep) }
+func BenchmarkTable1_ASeparatorEll(b *testing.B)   { benchExperiment(b, experiments.E1EllSweep) }
+func BenchmarkTable1_EnergyThreshold(b *testing.B) { benchExperiment(b, experiments.E2EnergyThreshold) }
+func BenchmarkTable1_AGrid(b *testing.B)           { benchExperiment(b, experiments.E3AGrid) }
+func BenchmarkTable1_AWave(b *testing.B)           { benchExperiment(b, experiments.E4AWave) }
+func BenchmarkTable1_LowerBoundThm2(b *testing.B)  { benchExperiment(b, experiments.E5LowerBound) }
+func BenchmarkThm6_PathConstruction(b *testing.B)  { benchExperiment(b, experiments.E6Path) }
+
+// --- Figures ------------------------------------------------------------------
+
+func BenchmarkFig1_Phases(b *testing.B)       { benchExperiment(b, experiments.F1Phases) }
+func BenchmarkFig4_Explore(b *testing.B)      { benchExperiment(b, experiments.F4Explore) }
+func BenchmarkFig5_Construction(b *testing.B) { benchExperiment(b, experiments.F5Construction) }
+
+// --- Lemmas -------------------------------------------------------------------
+
+func BenchmarkLem2_WakeTree(b *testing.B)   { benchExperiment(b, experiments.L2WakeTree) }
+func BenchmarkLem5_DFSampling(b *testing.B) { benchExperiment(b, experiments.L5DFSampling) }
+
+// --- Ablations ------------------------------------------------------------------
+
+func BenchmarkAblation_TreeVsOptimal(b *testing.B) { benchExperiment(b, experiments.A1TreeQuality) }
+func BenchmarkAblation_RhoEstimation(b *testing.B) { benchExperiment(b, experiments.A2RhoEstimation) }
+func BenchmarkAblation_TeamGrowth(b *testing.B)    { benchExperiment(b, experiments.A3TeamGrowth) }
+func BenchmarkAblation_EllRobustness(b *testing.B) { benchExperiment(b, experiments.A4EllRobustness) }
+func BenchmarkAblation_ChainBaseline(b *testing.B) { benchExperiment(b, experiments.A5Baseline) }
+func BenchmarkCrossover_AGridVsAWave(b *testing.B) { benchExperiment(b, experiments.E7Crossover) }
+
+// --- Headline end-to-end runs with reported makespan ---------------------------
+
+func benchAlgorithm(b *testing.B, alg dftp.Algorithm, inst *instance.Instance) {
+	b.Helper()
+	tup := dftp.TupleFor(inst)
+	var mk, en float64
+	for i := 0; i < b.N; i++ {
+		res, rep, err := dftp.Solve(alg, inst, tup, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllAwake || len(rep.Misses) > 0 {
+			b.Fatalf("incomplete run (awake=%v misses=%d)", res.AllAwake, len(rep.Misses))
+		}
+		mk, en = res.Makespan, res.MaxEnergy
+	}
+	b.ReportMetric(mk, "makespan")
+	b.ReportMetric(en, "maxEnergy")
+}
+
+func BenchmarkEndToEnd_ASeparator_Line64(b *testing.B) {
+	benchAlgorithm(b, dftp.ASeparator{}, instance.Line(64, 1))
+}
+
+func BenchmarkEndToEnd_ASeparator_Walk60(b *testing.B) {
+	benchAlgorithm(b, dftp.ASeparator{}, instance.RandomWalk(rand.New(rand.NewSource(1)), 60, 0.9))
+}
+
+func BenchmarkEndToEnd_AGrid_Line32(b *testing.B) {
+	benchAlgorithm(b, dftp.AGrid{}, instance.Line(32, 1))
+}
+
+func BenchmarkEndToEnd_AWave_Walk40(b *testing.B) {
+	benchAlgorithm(b, dftp.AWave{}, instance.RandomWalk(rand.New(rand.NewSource(2)), 40, 0.9))
+}
+
+func BenchmarkEndToEnd_ASeparatorAuto_Line32(b *testing.B) {
+	benchAlgorithm(b, dftp.ASeparatorAuto{}, instance.Line(32, 1))
+}
+
+func BenchmarkWakeup_Optimal10(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ts := make([]wakeup.Target, 10)
+	for i := range ts {
+		ts[i] = wakeup.Target{ID: i + 1, Pos: geom.Pt(rng.Float64()*10, rng.Float64()*10)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if wakeup.OptimalMakespan(geom.Origin, ts) <= 0 {
+			b.Fatal("bad optimum")
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks -------------------------------------------------
+
+func BenchmarkSim_MoveLookCycle(b *testing.B) {
+	sleepers := make([]geom.Point, 100)
+	rng := rand.New(rand.NewSource(3))
+	for i := range sleepers {
+		sleepers[i] = geom.Pt(rng.Float64()*20, rng.Float64()*20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine(sim.Config{Source: geom.Origin, Sleepers: sleepers})
+		e.Spawn(sim.SourceID, func(p *sim.Proc) {
+			for j := 0; j < 100; j++ {
+				if err := p.MoveTo(geom.Pt(float64(j%20), float64(j%17))); err != nil {
+					b.Error(err)
+					return
+				}
+				p.Look()
+			}
+		})
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpatial_Within(b *testing.B) {
+	g := spatial.NewGrid(1)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		g.Insert(i, geom.Pt(rng.Float64()*100, rng.Float64()*100))
+	}
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Within(buf[:0], geom.Pt(50, 50), 1)
+	}
+	_ = buf
+}
+
+func BenchmarkDiskGraph_Params(b *testing.B) {
+	inst := instance.RandomWalk(rand.New(rand.NewSource(5)), 300, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = diskgraph.ComputeParams(inst.Source, inst.Points)
+	}
+}
+
+func BenchmarkWakeup_BuildTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	ts := make([]wakeup.Target, 500)
+	for i := range ts {
+		ts[i] = wakeup.Target{ID: i + 1, Pos: geom.Pt(rng.Float64()*50, rng.Float64()*50)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := wakeup.BuildTree(geom.Origin, ts)
+		if wakeup.Size(root) != len(ts) {
+			b.Fatal("bad tree")
+		}
+	}
+}
+
+func BenchmarkExplore_PlanRect(b *testing.B) {
+	r := geom.RectWH(geom.Origin, 64, 64)
+	for i := 0; i < b.N; i++ {
+		pl := explore.PlanRect(r)
+		if len(pl.Stops) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command dftp-bench regenerates every experiment table of the reproduction
+// (the paper's Table 1 rows, the lower-bound constructions, and the
+// lemma-level building-block measurements) and renders them to stdout or to
+// CSV files.
+//
+// Usage:
+//
+//	dftp-bench [-scale quick|full] [-csv dir] [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"freezetag/internal/experiments"
+	"freezetag/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dftp-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scaleName = flag.String("scale", "quick", "experiment scale: quick or full")
+		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+		only      = flag.String("only", "", "run only tables whose title contains this substring")
+		ablations = flag.Bool("ablations", false, "also run the ablation suite (A1-A4)")
+	)
+	flag.Parse()
+
+	scale := experiments.Quick
+	if strings.EqualFold(*scaleName, "full") {
+		scale = experiments.Full
+	}
+	start := time.Now()
+	tables, err := experiments.All(scale)
+	if err != nil {
+		return err
+	}
+	if *ablations {
+		abl, err := experiments.Ablations(scale)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, abl...)
+	}
+	shown := 0
+	for _, tb := range tables {
+		if *only != "" && !strings.Contains(tb.Title, *only) {
+			continue
+		}
+		shown++
+		if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tb); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("%d tables in %.1fs (scale %s)\n", shown, time.Since(start).Seconds(), *scaleName)
+	return nil
+}
+
+func writeCSV(dir string, tb *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, tb.Title)
+	if len(name) > 60 {
+		name = name[:60]
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tb.WriteCSV(f)
+}

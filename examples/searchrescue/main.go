@@ -1,0 +1,52 @@
+// Search-and-rescue: beacons are scattered in sparse clusters across a wide
+// area (large ℓ relative to the density) and one active unit must activate
+// them all. The example compares all four algorithms on the same swarm —
+// makespan, per-robot energy, and the trade-off Table 1 predicts:
+// ASeparator wins on makespan with unbounded energy, AGrid spends the least
+// energy, AWave sits in between, and ASeparatorAuto pays a constant factor
+// for not knowing ρ.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"freezetag"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	// Three camps of beacons strung along a ridge, 6 units apart.
+	swarm := freezetag.ClusterChain(rng, 3, 10, 6.0, 1.0)
+	p := freezetag.ParamsOf(swarm)
+	tup := freezetag.TupleFor(swarm)
+	fmt.Printf("beacon field: n=%d, ℓ*=%.3g, ρ*=%.3g, ξ=%.3g\n\n",
+		swarm.N(), p.Ell, p.Rho, p.Xi)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tmakespan\tmax energy\ttotal energy\trounds")
+	algs := []freezetag.Algorithm{
+		freezetag.ASeparator, freezetag.ASeparatorAuto,
+		freezetag.AGrid, freezetag.AWave,
+	}
+	for _, alg := range algs {
+		res, rep, err := freezetag.Solve(alg, swarm, tup, 0)
+		if err != nil {
+			log.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if !res.AllAwake {
+			log.Fatalf("%s left beacons dark", alg.Name())
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%d\n",
+			alg.Name(), res.Makespan, res.MaxEnergy, res.TotalEnergy, rep.Rounds)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTable 1's trade-off: AGrid minimizes per-robot energy, ASeparator")
+	fmt.Println("minimizes makespan, AWave trades a log factor of energy for speed,")
+	fmt.Println("and ASeparatorAuto needs only ℓ at a constant-factor cost (§5).")
+}

@@ -1,0 +1,127 @@
+// Package freezetag is the public API of the distributed Freeze Tag
+// library, a reproduction of "Distributed Freeze Tag: a Sustainable Solution
+// to Discover and Wake-up a Robot Swarm" (Gavoille, Hanusse, Le Bouder,
+// Marcé — PODC 2025).
+//
+// The Freeze Tag Problem starts with one awake robot and a swarm of sleeping
+// ones; waking requires co-location, and woken robots help. In the
+// distributed setting reproduced here, positions are unknown, visibility is
+// limited to distance 1, and robots communicate only face-to-face.
+//
+// Quickstart:
+//
+//	swarm := freezetag.RandomWalk(rand.New(rand.NewSource(1)), 40, 0.9)
+//	tup := freezetag.TupleFor(swarm)                 // the (ℓ, ρ, n) knowledge
+//	res, rep, err := freezetag.Solve(freezetag.AGrid, swarm, tup, 0)
+//	// res.Makespan, res.MaxEnergy, res.AllAwake, rep.Rounds ...
+//
+// Four algorithms are available, mirroring the paper's Table 1 plus the §5
+// extension:
+//
+//	ASeparator     makespan O(ρ + ℓ²log(ρ/ℓ)), unbounded energy   (Thm 1)
+//	AGrid          energy O(ℓ²) (optimal), makespan O(ℓ·ξℓ)        (Thm 4)
+//	AWave          energy O(ℓ²logℓ), makespan O(ξℓ + ℓ²log(ξℓ/ℓ))  (Thm 5)
+//	ASeparatorAuto ASeparator needing only ℓ (estimates ρ, §5)
+//
+// Everything below is a thin facade over the implementation packages in
+// internal/; see DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction results.
+package freezetag
+
+import (
+	"math/rand"
+
+	"freezetag/internal/dftp"
+	"freezetag/internal/geom"
+	"freezetag/internal/instance"
+	"freezetag/internal/sim"
+)
+
+// Point is a position in the plane.
+type Point = geom.Point
+
+// Pt builds a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Instance is a dFTP problem: a source position plus the initial positions
+// of the sleeping robots. Instances marshal to/from JSON via Save and Load.
+type Instance = instance.Instance
+
+// NewInstance builds an instance from explicit positions.
+func NewInstance(name string, source Point, sleepers []Point) *Instance {
+	return &Instance{Name: name, Source: source, Points: sleepers}
+}
+
+// LoadInstance reads a JSON instance from a file.
+func LoadInstance(path string) (*Instance, error) { return instance.Load(path) }
+
+// Tuple is the (ℓ, ρ, n) knowledge handed to the source robot: an upper
+// bound ℓ on the connectivity threshold, an upper bound ρ on the radius, and
+// the swarm size n (never actually used by the algorithms, per §5).
+type Tuple = dftp.Tuple
+
+// TupleFor derives an admissible tuple from an instance's exact parameters.
+func TupleFor(in *Instance) Tuple { return dftp.TupleFor(in) }
+
+// Result summarizes a run: makespan, per-robot and total energy, completion.
+type Result = sim.Result
+
+// Report carries algorithm-level diagnostics (rounds, schedule misses).
+type Report = dftp.Report
+
+// Algorithm is one of the paper's dFTP algorithms.
+type Algorithm = dftp.Algorithm
+
+// The algorithms of the paper (see the package comment for their bounds).
+var (
+	ASeparator     Algorithm = dftp.ASeparator{}
+	AGrid          Algorithm = dftp.AGrid{}
+	AWave          Algorithm = dftp.AWave{}
+	ASeparatorAuto Algorithm = dftp.ASeparatorAuto{}
+)
+
+// Solve runs alg on the instance with the given per-robot energy budget
+// (≤ 0 means unconstrained) and returns the simulation result and report.
+// Runs are deterministic: identical inputs give identical results.
+func Solve(alg Algorithm, in *Instance, tup Tuple, budget float64) (Result, *Report, error) {
+	return dftp.Solve(alg, in, tup, budget)
+}
+
+// --- Instance generators -----------------------------------------------------
+
+// Line places n robots on the x-axis with the given spacing — the canonical
+// maximum-eccentricity family (ξℓ = ρ* = n·spacing).
+func Line(n int, spacing float64) *Instance { return instance.Line(n, spacing) }
+
+// RandomWalk generates n robots along a random walk from the source with
+// steps in [step/2, step]; the swarm is step-connected by construction.
+func RandomWalk(rng *rand.Rand, n int, step float64) *Instance {
+	return instance.RandomWalk(rng, n, step)
+}
+
+// UniformDisk scatters n robots uniformly in a radius-r disk at the source.
+func UniformDisk(rng *rand.Rand, n int, r float64) *Instance {
+	return instance.UniformDisk(rng, n, r)
+}
+
+// GridSwarm builds a k×k robot grid with the given spacing.
+func GridSwarm(k int, spacing float64) *Instance { return instance.GridSwarm(k, spacing) }
+
+// ClusterChain strings `clusters` clusters of `per` robots along a line.
+func ClusterChain(rng *rand.Rand, clusters, per int, sep, radius float64) *Instance {
+	return instance.ClusterChain(rng, clusters, per, sep, radius)
+}
+
+// Params are an instance's exact (ρ*, ℓ*, ξ) values.
+type Params struct {
+	Rho float64 // ρ*: swarm radius
+	Ell float64 // ℓ*: connectivity threshold
+	Xi  float64 // ξ: ℓ*-eccentricity of the source
+	N   int
+}
+
+// ParamsOf computes the exact parameters of an instance.
+func ParamsOf(in *Instance) Params {
+	p := in.Params()
+	return Params{Rho: p.Rho, Ell: p.Ell, Xi: p.Xi, N: p.N}
+}

@@ -1,0 +1,87 @@
+package freezetag_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"freezetag"
+)
+
+func TestPublicAPISolve(t *testing.T) {
+	swarm := freezetag.RandomWalk(rand.New(rand.NewSource(1)), 25, 0.9)
+	tup := freezetag.TupleFor(swarm)
+	for _, alg := range []freezetag.Algorithm{
+		freezetag.ASeparator, freezetag.AGrid, freezetag.ASeparatorAuto,
+	} {
+		res, rep, err := freezetag.Solve(alg, swarm, tup, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if !res.AllAwake {
+			t.Fatalf("%s: incomplete wake-up", alg.Name())
+		}
+		if len(rep.Misses) > 0 {
+			t.Fatalf("%s: schedule misses %v", alg.Name(), rep.Misses)
+		}
+	}
+}
+
+func TestPublicAPIInstanceRoundTrip(t *testing.T) {
+	in := freezetag.NewInstance("custom", freezetag.Pt(0, 0),
+		[]freezetag.Point{freezetag.Pt(1, 0), freezetag.Pt(2, 1)})
+	path := filepath.Join(t.TempDir(), "i.json")
+	if err := in.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := freezetag.LoadInstance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 2 || got.Name != "custom" {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestPublicAPIParams(t *testing.T) {
+	in := freezetag.Line(10, 2)
+	p := freezetag.ParamsOf(in)
+	if p.Ell != 2 || p.Rho != 20 || p.Xi != 20 || p.N != 10 {
+		t.Fatalf("params = %+v", p)
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gens := []*freezetag.Instance{
+		freezetag.Line(5, 1),
+		freezetag.RandomWalk(rng, 5, 1),
+		freezetag.UniformDisk(rng, 5, 3),
+		freezetag.GridSwarm(3, 1),
+		freezetag.ClusterChain(rng, 2, 3, 4, 0.5),
+	}
+	for _, in := range gens {
+		if in.N() == 0 {
+			t.Errorf("%s: empty instance", in.Name)
+		}
+	}
+}
+
+func TestPublicAPIBudget(t *testing.T) {
+	in := freezetag.Line(10, 1)
+	tup := freezetag.TupleFor(in)
+	// Starve the run: it must report honestly rather than succeed.
+	res, _, err := freezetag.Solve(freezetag.AGrid, in, tup, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllAwake {
+		t.Error("starved run should not complete")
+	}
+	if len(res.Violations) == 0 {
+		t.Error("budget violations should be reported")
+	}
+	if res.MaxEnergy > 0.5+1e-9 {
+		t.Errorf("budget exceeded: %v", res.MaxEnergy)
+	}
+}

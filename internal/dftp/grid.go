@@ -1,0 +1,163 @@
+package dftp
+
+import (
+	"math"
+	"sort"
+
+	"freezetag/internal/explore"
+	"freezetag/internal/geom"
+	"freezetag/internal/sim"
+	"freezetag/internal/wakeup"
+)
+
+// AGrid is the minimal-energy algorithm of §8.1 (Theorem 4): the plane is
+// partitioned into squares of width 2ℓ; the source wakes its own square, and
+// every newly woken generation wakes the 8 adjacent squares of its square on
+// a fixed synchronized schedule. Each robot moves only during its own round,
+// so the per-robot energy is O(ℓ²).
+type AGrid struct{}
+
+// Name implements Algorithm.
+func (AGrid) Name() string { return "AGrid" }
+
+// gridSlotWork returns t(ℓ): a guaranteed upper bound on one
+// explore-and-wake of a width-R square with this codebase's constants:
+// ≤ √2R corner entry + R²/√2+3R sweep + √2R to center + 12R wake tree,
+// bounded by R² + 20R (the paper's R² + (10+√2)R with our slack).
+func gridSlotWork(r float64) float64 { return r*r + 20*r }
+
+// Install implements Algorithm.
+func (AGrid) Install(e *sim.Engine, tup Tuple) *Report {
+	rep := &Report{}
+	g := &gridRun{
+		eng: e,
+		rep: rep,
+		r:   2 * tup.Ell,
+		reg: make(map[gridKey][]int),
+	}
+	g.t = gridSlotWork(g.r)
+	g.slotW = g.t + 3*g.r
+	e.Spawn(sim.SourceID, func(p *sim.Proc) {
+		s := geom.GridCell(p.Self().Pos(), g.r)
+		g.exploreWake(p, s, g.participant(1))
+		if p.Now() > g.t+geom.Eps {
+			rep.miss("round 0 overran t(ℓ): %.4g > %.4g", p.Now(), g.t)
+		}
+	})
+	return rep
+}
+
+type gridKey struct {
+	k      int // round index
+	kx, ky int // grid cell of the participants' home square
+}
+
+// gridRun is the shared state of one AGrid execution.
+type gridRun struct {
+	eng   *sim.Engine
+	rep   *Report
+	r     float64 // square width R = 2ℓ
+	t     float64 // per-square work bound t(ℓ)
+	slotW float64 // slot width t + 3R (√2R travel plus slack)
+	reg   map[gridKey][]int
+}
+
+// roundStart returns t_k, the start of round k ≥ 1. Rounds are 9 slot-widths
+// apart: 8 work slots plus one slack slot for travel and late wake-ups (a
+// schedule deviation from the paper's 8, documented in the package comment).
+func (g *gridRun) roundStart(k int) float64 {
+	return g.t + 9*g.slotW*float64(k-1)
+}
+
+// workDeadline returns the start of work slot i ∈ [1,8] of round k.
+func (g *gridRun) workDeadline(k, i int) float64 {
+	return g.roundStart(k) + g.slotW*float64(i)
+}
+
+// register adds a participant to its (round, home-square) team and returns
+// nothing; teams are read at work deadlines, strictly after every round-k
+// registration (all wake-ups of round k-1 precede t_k).
+func (g *gridRun) register(k int, s geom.Square, id int) {
+	kx, ky := geom.GridIndex(s.Center, g.r)
+	key := gridKey{k: k, kx: kx, ky: ky}
+	g.reg[key] = append(g.reg[key], id)
+}
+
+func (g *gridRun) teamLeader(k int, s geom.Square) int {
+	kx, ky := geom.GridIndex(s.Center, g.r)
+	ids := g.reg[gridKey{k: k, kx: kx, ky: ky}]
+	leader := math.MaxInt32
+	for _, id := range ids {
+		if id < leader {
+			leader = id
+		}
+	}
+	return leader
+}
+
+// participant returns the handler run by every robot woken during round k-1:
+// visit the 8 adjacent squares of the home square in counter-clockwise
+// order; at each synchronized work deadline the lowest-id participant of the
+// home square explores and wakes the target square.
+func (g *gridRun) participant(k int) func(*sim.Proc) {
+	return func(p *sim.Proc) {
+		g.rep.sawRound(k)
+		home := geom.GridCell(p.Self().InitPos(), g.r)
+		g.register(k, home, p.ID())
+		adj := home.Adjacent8()
+		for i, target := range adj {
+			if err := p.MoveTo(target.LowerLeft()); err != nil {
+				g.rep.miss("round %d corner move: %v", k, err)
+				return
+			}
+			d := g.workDeadline(k, i+1)
+			if p.Now() > d+geom.Eps {
+				g.rep.miss("robot %d late for round %d slot %d: %.4g > %.4g",
+					p.ID(), k, i+1, p.Now(), d)
+			}
+			p.WaitUntil(d)
+			if g.teamLeader(k, home) == p.ID() {
+				g.exploreWake(p, target, g.participant(k+1))
+			}
+		}
+	}
+}
+
+// exploreWake is Corollary 1's explore-and-wake of one grid square: sweep it
+// from its lower-left corner, then wake every sleeping robot belonging to
+// the square with a wake-up tree, attaching cont to each woken robot.
+func (g *gridRun) exploreWake(p *sim.Proc, s geom.Square, cont func(*sim.Proc)) {
+	if err := p.MoveTo(s.LowerLeft()); err != nil {
+		g.rep.miss("explore entry: %v", err)
+		return
+	}
+	res, err := explore.Rect(p, nil, s.Rect(), s.Center)
+	if err != nil {
+		g.rep.miss("explore: %v", err)
+		return
+	}
+	kx, ky := geom.GridIndex(s.Center, g.r)
+	ids := make([]int, 0, len(res.Asleep))
+	for id := range res.Asleep {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	targets := make([]wakeup.Target, 0, len(ids))
+	for _, id := range ids {
+		pos := res.Asleep[id]
+		// Sweeps see up to distance 1 beyond the square; only robots whose
+		// cell is this square belong to this wake-up tree (the neighbor's
+		// explorer owns the rest).
+		if cx, cy := geom.GridIndex(pos, g.r); cx != kx || cy != ky {
+			continue
+		}
+		if g.eng.Robot(id).State() != sim.Asleep {
+			continue
+		}
+		targets = append(targets, wakeup.Target{ID: id, Pos: pos})
+	}
+	tree := wakeup.BuildTree(p.Self().Pos(), targets)
+	if err := wakeup.Propagate(p, tree, cont); err != nil {
+		g.rep.miss("propagate: %v", err)
+	}
+}

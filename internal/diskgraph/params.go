@@ -1,0 +1,107 @@
+package diskgraph
+
+import (
+	"math"
+
+	"freezetag/internal/geom"
+)
+
+// Params bundles the three instance parameters the paper's bounds are stated
+// in, computed exactly from a source and point set.
+type Params struct {
+	Rho float64 // ρ*: max distance from the source to any point of P
+	Ell float64 // ℓ*: connectivity threshold of (P, s)
+	Xi  float64 // ξℓ*: ℓ*-eccentricity of the source (see XiAt for other ℓ)
+	N   int     // |P|
+}
+
+// ComputeParams returns the exact (ρ*, ℓ*, ξ_{ℓ*}) of the instance.
+func ComputeParams(source geom.Point, points []geom.Point) Params {
+	ell := ConnectivityThreshold(source, points)
+	return Params{
+		Rho: geom.MaxDistFrom(source, points),
+		Ell: ell,
+		Xi:  XiAt(source, points, ell),
+		N:   len(points),
+	}
+}
+
+// ConnectivityThreshold computes ℓ*, the least δ making the δ-disk graph of
+// P ∪ {s} connected. It equals the largest edge weight of the Euclidean
+// minimum spanning tree (the bottleneck connectivity radius), computed with
+// a dense Prim pass in O(n²) time and O(n) memory — exact, and fast enough
+// for the swarm sizes simulated here. Returns 0 when P is empty.
+func ConnectivityThreshold(source geom.Point, points []geom.Point) float64 {
+	pts := make([]geom.Point, 0, len(points)+1)
+	pts = append(pts, source)
+	pts = append(pts, points...)
+	n := len(pts)
+	if n <= 1 {
+		return 0
+	}
+	best := make([]float64, n) // cheapest connection cost into the tree
+	inTree := make([]bool, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	best[0] = 0
+	var bottleneck float64
+	for iter := 0; iter < n; iter++ {
+		v := -1
+		bd := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && best[i] < bd {
+				v, bd = i, best[i]
+			}
+		}
+		if v == -1 {
+			break // disconnected input is impossible: complete metric graph
+		}
+		inTree[v] = true
+		if bd > bottleneck {
+			bottleneck = bd
+		}
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := pts[v].Dist(pts[i]); d < best[i] {
+					best[i] = d
+				}
+			}
+		}
+	}
+	return bottleneck
+}
+
+// XiAt computes the ℓ-eccentricity ξℓ of the source: the maximum
+// shortest-path distance from s in the ℓ-disk graph of P ∪ {s}, equivalently
+// the minimum weighted depth over spanning trees rooted at s. Returns +Inf
+// when the ℓ-disk graph is disconnected.
+func XiAt(source geom.Point, points []geom.Point, ell float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	g := New(source, points, ell)
+	return g.Eccentricity(0)
+}
+
+// Admissible reports whether the tuple (ℓ, ρ, n) is admissible per the paper:
+// ℓ ≤ ρ ≤ n·ℓ (with ℓ, ρ > 0).
+func Admissible(ell, rho float64, n int) bool {
+	return ell > 0 && rho >= ell && rho <= float64(n)*ell
+}
+
+// CheckProposition1 verifies the inequality chain of Proposition 1 for the
+// instance: 0 < ℓ* ≤ ρ* ≤ ξℓ ≤ n·ℓ* (evaluated at ℓ = ℓ*). It returns true
+// when every inequality holds within geom.Eps, and is exercised by the
+// property-based test-suite on random instances.
+func CheckProposition1(source geom.Point, points []geom.Point) bool {
+	if len(points) == 0 {
+		return true
+	}
+	p := ComputeParams(source, points)
+	eps := geom.Eps * float64(len(points)+1)
+	return p.Ell > 0 &&
+		p.Ell <= p.Rho+eps &&
+		p.Rho <= p.Xi+eps &&
+		p.Xi <= float64(p.N)*p.Ell+eps
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment must run to completion at Quick scale and produce a table
+// with the expected columns and at least one data row.
+
+func checkTable(t *testing.T, tb interface {
+	String() string
+	NumRows() int
+}, wantCols ...string) {
+	t.Helper()
+	if tb.NumRows() == 0 {
+		t.Fatalf("empty table:\n%s", tb.String())
+	}
+	s := tb.String()
+	for _, c := range wantCols {
+		if !strings.Contains(s, c) {
+			t.Errorf("missing column %q in:\n%s", c, s)
+		}
+	}
+}
+
+func TestE1RhoSweep(t *testing.T) {
+	tb, err := E1RhoSweep(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "rho", "makespan", "ratio")
+}
+
+func TestE1EllSweep(t *testing.T) {
+	tb, err := E1EllSweep(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "ell", "makespan")
+}
+
+func TestE2EnergyThreshold(t *testing.T) {
+	tb, err := E2EnergyThreshold(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "budget", "found")
+	// The table must exhibit the threshold: a false row and a true row.
+	s := tb.String()
+	if !strings.Contains(s, "false") || !strings.Contains(s, "true") {
+		t.Errorf("threshold not visible:\n%s", s)
+	}
+}
+
+func TestE3AGrid(t *testing.T) {
+	tb, err := E3AGrid(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "xi", "maxEnergy")
+}
+
+func TestE4AWave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AWave experiment is slow")
+	}
+	tb, err := E4AWave(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "makespan")
+}
+
+func TestE5LowerBound(t *testing.T) {
+	tb, err := E5LowerBound(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "adversarial makespan")
+}
+
+func TestE6Path(t *testing.T) {
+	tb, err := E6Path(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "xi (realized)", "B-disk ecc")
+}
+
+func TestE7Crossover(t *testing.T) {
+	tb, err := E7Crossover(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "winner")
+	// The crossover must be visible: AGrid wins at small ℓ, AWave at ℓ=8+.
+	s := tb.String()
+	if !strings.Contains(s, "AGrid") || !strings.Contains(s, "AWave") {
+		t.Errorf("no crossover visible:\n%s", s)
+	}
+}
+
+func TestF1Phases(t *testing.T) {
+	tb, err := F1Phases(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "depth", "square width")
+}
+
+func TestF4Explore(t *testing.T) {
+	tb, err := F4Explore(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "duration", "model")
+}
+
+func TestF5Construction(t *testing.T) {
+	tb, err := F5Construction(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "|C|", "ℓ-connected")
+	if strings.Contains(tb.String(), "false") {
+		t.Errorf("construction invariant violated:\n%s", tb.String())
+	}
+}
+
+func TestL2WakeTree(t *testing.T) {
+	tb, err := L2WakeTree(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "max ratio")
+}
+
+func TestL5DFSampling(t *testing.T) {
+	tb, err := L5DFSampling(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "recruit target", "duration")
+}
+
+func TestXiSanity(t *testing.T) {
+	tb, err := XiSanity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "ell*", "ok")
+	if strings.Contains(tb.String(), "false") {
+		t.Errorf("Proposition 1 violated:\n%s", tb.String())
+	}
+}

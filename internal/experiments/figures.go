@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"freezetag/internal/dftp"
+	"freezetag/internal/diskgraph"
+	"freezetag/internal/explore"
+	"freezetag/internal/geom"
+	"freezetag/internal/instance"
+	"freezetag/internal/metrics"
+	"freezetag/internal/report"
+	"freezetag/internal/sampling"
+	"freezetag/internal/sim"
+	"freezetag/internal/wakeup"
+)
+
+// F1Phases regenerates the content of Figures 1–2: the phase anatomy of one
+// ASeparator execution — per recursion depth, the number of reorganization
+// barriers (parallel branches) and square widths, plus the wake-up timeline.
+func F1Phases(scale Scale) (*report.Table, error) {
+	n := 48
+	if scale == Full {
+		n = 96
+	}
+	in := instance.DiskGridStatic(12, 2, n)
+	tup := dftp.TupleFor(in)
+
+	type depthStat struct {
+		branches int
+		width    float64
+	}
+	stats := map[int]*depthStat{}
+	var wakeTimes []float64
+	e := sim.NewEngine(sim.Config{
+		Source:   in.Source,
+		Sleepers: in.Points,
+		Trace: func(ev sim.Event) {
+			switch ev.Kind {
+			case "wake":
+				wakeTimes = append(wakeTimes, ev.T)
+			case "barrier":
+				// Keys look like reorg/<nonce>/<cx,cy>/<width>/<depth>.
+				if !strings.HasPrefix(ev.Extra, "reorg/") {
+					return
+				}
+				parts := strings.Split(ev.Extra, "/")
+				var width float64
+				var depth int
+				fmt.Sscanf(parts[len(parts)-2], "%g", &width)
+				fmt.Sscanf(parts[len(parts)-1], "%d", &depth)
+				ds := stats[depth]
+				if ds == nil {
+					ds = &depthStat{width: width}
+					stats[depth] = ds
+				}
+				ds.branches++
+			}
+		},
+	})
+	rep := dftp.ASeparator{}.Install(e, tup)
+	res, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	if !res.AllAwake || len(rep.Misses) > 0 {
+		return nil, fmt.Errorf("F1: run failed (awake=%v misses=%d)", res.AllAwake, len(rep.Misses))
+	}
+	t := report.NewTable("F1/F2 — ASeparator phase anatomy (disk-grid ρ=12 ℓ=2)",
+		"depth", "square width", "barrier arrivals", "wake quantile t25/t50/t75/t100")
+	depths := make([]int, 0, len(stats))
+	for d := range stats {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	sort.Float64s(wakeTimes)
+	q := func(f float64) float64 {
+		if len(wakeTimes) == 0 {
+			return 0
+		}
+		i := int(f * float64(len(wakeTimes)-1))
+		return wakeTimes[i]
+	}
+	quant := fmt.Sprintf("%.1f/%.1f/%.1f/%.1f", q(0.25), q(0.5), q(0.75), q(1))
+	for i, d := range depths {
+		qcol := ""
+		if i == 0 {
+			qcol = quant
+		}
+		t.AddRow(d, stats[d].width, stats[d].branches, qcol)
+	}
+	return t, nil
+}
+
+// F4Explore regenerates Figure 4's content: Lemma 1 exploration cost across
+// rectangle dimensions and team sizes, with the fitted model
+// a·wh/k + b·(w+h) + c.
+func F4Explore(scale Scale) (*report.Table, error) {
+	dims := [][2]float64{{8, 8}, {16, 8}}
+	ks := []int{1, 2, 4}
+	if scale == Full {
+		dims = [][2]float64{{8, 8}, {16, 8}, {16, 16}, {32, 16}}
+		ks = []int{1, 2, 4, 8}
+	}
+	t := report.NewTable("F4 — Explore cost (Lemma 1: O(wh/k + w + h))",
+		"w", "h", "k", "duration", "model wh/k+w+h", "ratio")
+	var feats [][]float64
+	var ys []float64
+	for _, d := range dims {
+		w, h := d[0], d[1]
+		for _, k := range ks {
+			dur, err := exploreDuration(w, h, k)
+			if err != nil {
+				return nil, err
+			}
+			model := w*h/float64(k) + w + h
+			t.AddRow(w, h, k, dur, model, dur/model)
+			feats = append(feats, []float64{w * h / float64(k), w + h, 1})
+			ys = append(ys, dur)
+		}
+	}
+	if coef, r2, err := metrics.FitLinear(feats, ys); err == nil {
+		t.AddRow("fit", "", "", fmt.Sprintf("a=%.2f b=%.2f c=%.2f", coef[0], coef[1], coef[2]),
+			fmt.Sprintf("R²=%.4f", r2), "")
+	}
+	return t, nil
+}
+
+// exploreDuration measures one team exploration of a w×h rectangle with k
+// robots (k−1 teammates sleeping at the source get woken for free first).
+func exploreDuration(w, h float64, k int) (float64, error) {
+	var sleepers []geom.Point
+	for i := 0; i < k-1; i++ {
+		sleepers = append(sleepers, geom.Origin)
+	}
+	// One probe robot far inside so the sweep has something to find.
+	sleepers = append(sleepers, geom.Pt(w*0.7, h*0.6))
+	e := sim.NewEngine(sim.Config{Source: geom.Origin, Sleepers: sleepers})
+	var dur float64
+	var rerr error
+	e.Spawn(sim.SourceID, func(p *sim.Proc) {
+		var members []int
+		for i := 1; i < k; i++ {
+			p.Wake(i, nil)
+			members = append(members, i)
+		}
+		start := p.Now()
+		res, err := explore.Rect(p, members, geom.RectWH(geom.Origin, w, h), geom.Pt(w/2, h/2))
+		if err != nil {
+			rerr = err
+			return
+		}
+		if len(res.Asleep) == 0 {
+			rerr = fmt.Errorf("probe robot not found in %vx%v sweep", w, h)
+			return
+		}
+		dur = p.Now() - start
+	})
+	if _, err := e.Run(); err != nil {
+		return 0, err
+	}
+	return dur, rerr
+}
+
+// F5Construction regenerates Figure 5's content: the Theorem 2 layout
+// statistics — |C| against the Lemma 12 bound 1+ρ²/ℓ², and the Lemma 13
+// ℓ-connectivity of the disk-grid instances.
+func F5Construction(scale Scale) (*report.Table, error) {
+	type cfg struct{ rho, ell float64 }
+	cfgs := []cfg{{8, 2}, {16, 2}}
+	if scale == Full {
+		cfgs = []cfg{{8, 2}, {16, 2}, {32, 4}, {48, 4}}
+	}
+	t := report.NewTable("F5 — Theorem 2 construction (Lemmas 12–13)",
+		"rho", "ell", "|C|", "bound 1+ρ²/ℓ²", "ℓ* of disk-grid", "ℓ-connected")
+	for _, c := range cfgs {
+		centers := instance.CentersC(c.rho, c.ell)
+		in := instance.DiskGridStatic(c.rho, c.ell, 1<<20)
+		p := in.Params()
+		t.AddRow(c.rho, c.ell, len(centers), 1+c.rho*c.rho/(c.ell*c.ell),
+			p.Ell, fmt.Sprintf("%v", p.Ell <= c.ell+1e-9))
+	}
+	return t, nil
+}
+
+// L2WakeTree measures Lemma 2's constant: the worst makespan/width ratio of
+// the centralized wake-up tree over random squares (paper constant 5 with
+// the [BCGH24] tree; ours is the ≈10.1 longest-side-bisection constant).
+func L2WakeTree(scale Scale) (*report.Table, error) {
+	widths := []float64{4, 16}
+	trials := 20
+	if scale == Full {
+		widths = []float64{4, 16, 64, 256}
+		trials = 60
+	}
+	rng := rand.New(rand.NewSource(99))
+	t := report.NewTable("L2 — wake-up tree makespan/width (paper: ≤5R; ours: ≤~10.1R)",
+		"width", "trials", "mean ratio", "max ratio")
+	for _, w := range widths {
+		var ratios []float64
+		for trial := 0; trial < trials; trial++ {
+			n := 10 + rng.Intn(100)
+			ts := make([]wakeup.Target, n)
+			for i := range ts {
+				ts[i] = wakeup.Target{ID: i + 1,
+					Pos: geom.Pt((rng.Float64()-0.5)*w, (rng.Float64()-0.5)*w)}
+			}
+			m := wakeup.Makespan(geom.Origin, wakeup.BuildTree(geom.Origin, ts))
+			ratios = append(ratios, m/w)
+		}
+		t.AddRow(w, trials, metrics.Mean(ratios), metrics.Max(ratios))
+	}
+	return t, nil
+}
+
+// L5DFSampling measures Lemma 5's DFSampling time against the recruit count
+// on chain instances. The lemma's single-robot-start regime O(ℓ²·log k) only
+// covers k ≤ 4ℓ (beyond that the backtracking term 2kℓ stops being O(ℓ²)),
+// so the sweep keeps k within 4ℓ for each ℓ.
+func L5DFSampling(scale Scale) (*report.Table, error) {
+	type cfg struct {
+		ell    float64
+		target int
+	}
+	cfgs := []cfg{{2, 4}, {2, 8}, {4, 8}, {4, 16}}
+	if scale == Full {
+		cfgs = []cfg{{2, 4}, {2, 8}, {4, 8}, {4, 16}, {8, 16}, {8, 32}}
+	}
+	t := report.NewTable("L5 — DFSampling time vs recruits (chain; model ℓ²·lg k, valid for k ≤ 4ℓ)",
+		"ell", "recruit target", "recruited", "duration", "model ℓ²lg(k)", "ratio")
+	for _, c := range cfgs {
+		dur, got, err := dfsampleDuration(c.ell, c.target)
+		if err != nil {
+			return nil, err
+		}
+		model := c.ell * c.ell * lg2(float64(c.target))
+		t.AddRow(c.ell, c.target, got, dur, model, dur/model)
+	}
+	return t, nil
+}
+
+func dfsampleDuration(ell float64, target int) (float64, int, error) {
+	// A chain long enough to saturate the largest target, spaced 1.5ℓ so
+	// every consecutive pair is a 2ℓ-hop and every sample recruits.
+	var pts []geom.Point
+	for i := 1; i <= 2*target+4; i++ {
+		pts = append(pts, geom.Pt(float64(i)*1.5*ell, 0))
+	}
+	e := sim.NewEngine(sim.Config{Source: geom.Origin, Sleepers: pts})
+	region := geom.Sq(geom.Pt(float64(len(pts))*ell, 0), 8*float64(len(pts))*ell)
+	var dur float64
+	var got int
+	var rerr error
+	e.Spawn(sim.SourceID, func(p *sim.Proc) {
+		start := p.Now()
+		out, err := sampling.Run(p, nil, sampling.Request{
+			Region:        region.Rect(),
+			Square:        region,
+			Ell:           ell,
+			RecruitTarget: target,
+			Seeds:         []sampling.Seed{{Pos: geom.Origin, AsleepID: -1}},
+		})
+		if err != nil {
+			rerr = err
+			return
+		}
+		dur = p.Now() - start
+		got = len(out.Recruits)
+	})
+	if _, err := e.Run(); err != nil {
+		return 0, 0, err
+	}
+	return dur, got, rerr
+}
+
+// XiSanity cross-checks the diskgraph parameter computations on the
+// experiment families (an internal consistency row used by dftp-bench).
+func XiSanity() (*report.Table, error) {
+	t := report.NewTable("Parameter sanity (Proposition 1 on experiment families)",
+		"instance", "ell*", "rho*", "xi", "ok: ℓ*≤ρ*≤ξ≤nℓ*")
+	rng := rand.New(rand.NewSource(7))
+	families := []*instance.Instance{
+		instance.Line(24, 1.5),
+		instance.GridSwarm(5, 2),
+		instance.RandomWalk(rng, 40, 0.9),
+		instance.DiskGridStatic(10, 2, 40),
+	}
+	for _, in := range families {
+		p := in.Params()
+		ok := diskgraph.CheckProposition1(in.Source, in.Points)
+		t.AddRow(in.Name, p.Ell, p.Rho, p.Xi, fmt.Sprintf("%v", ok))
+	}
+	return t, nil
+}
+
+// All runs every experiment at the given scale, returning the tables in
+// presentation order. Used by cmd/dftp-bench.
+func All(scale Scale) ([]*report.Table, error) {
+	type gen struct {
+		name string
+		fn   func(Scale) (*report.Table, error)
+	}
+	gens := []gen{
+		{"E1a", E1RhoSweep}, {"E1b", E1EllSweep}, {"E2", E2EnergyThreshold},
+		{"E3", E3AGrid}, {"E4", E4AWave}, {"E5", E5LowerBound}, {"E6", E6Path},
+		{"E7", E7Crossover},
+		{"F1", F1Phases}, {"F4", F4Explore}, {"F5", F5Construction},
+		{"L2", L2WakeTree}, {"L5", L5DFSampling},
+	}
+	var out []*report.Table
+	for _, g := range gens {
+		tb, err := g.fn(scale)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", g.name, err)
+		}
+		out = append(out, tb)
+	}
+	sanity, err := XiSanity()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sanity)
+	return out, nil
+}

@@ -1,0 +1,206 @@
+// Package explore implements the paper's exploration procedures:
+//
+//   - Lemma 1's boustrophedon (zigzag) rectangle sweep with √2 row pitch and
+//     √2 snapshot pitch, for a single robot or a team of k robots exploring
+//     k horizontal strips in parallel, in time O(wh/k + w + h);
+//   - the Archimedean spiral search used as the single-robot discovery
+//     baseline (the Θ(D²) cow-path argument from the introduction).
+//
+// Planning is pure (waypoint lists), execution runs on the simulator.
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"freezetag/internal/geom"
+	"freezetag/internal/sim"
+)
+
+// snapPitch is the snapshot and row pitch √2: a radius-1 view contains the
+// axis-parallel square of width √2 centered on the robot, so a √2 × √2 grid
+// of snapshot points covers the plane.
+var snapPitch = math.Sqrt2
+
+// Plan is a deterministic exploration trajectory: the robot visits Stops in
+// order and performs a Look at each.
+type Plan struct {
+	Stops []geom.Point
+}
+
+// PlanRect returns the single-robot zigzag plan covering rectangle r: every
+// point of r is within distance 1 of some stop. Rows alternate direction so
+// consecutive stops stay close (serpentine order). Degenerate rectangles
+// yield a single-stop plan at the center.
+func PlanRect(r geom.Rect) Plan {
+	w, h := r.Width(), r.Height()
+	nx := int(math.Ceil(w / snapPitch))
+	if nx < 1 {
+		nx = 1
+	}
+	ny := int(math.Ceil(h / snapPitch))
+	if ny < 1 {
+		ny = 1
+	}
+	dx, dy := w/float64(nx), h/float64(ny)
+	stops := make([]geom.Point, 0, nx*ny)
+	for row := 0; row < ny; row++ {
+		y := r.Min.Y + (float64(row)+0.5)*dy
+		for col := 0; col < nx; col++ {
+			c := col
+			if row%2 == 1 {
+				c = nx - 1 - col // serpentine
+			}
+			x := r.Min.X + (float64(c)+0.5)*dx
+			stops = append(stops, geom.Pt(x, y))
+		}
+	}
+	return Plan{Stops: stops}
+}
+
+// Length returns the travel length of the plan starting from `from` and
+// ending at `to` (entry and exit legs included).
+func (pl Plan) Length(from, to geom.Point) float64 {
+	if len(pl.Stops) == 0 {
+		return from.Dist(to)
+	}
+	return from.Dist(pl.Stops[0]) + geom.PathLength(pl.Stops) + pl.Stops[len(pl.Stops)-1].Dist(to)
+}
+
+// Covers reports whether every one of the probe points is within distance 1
+// of some stop; used by the property tests as the Lemma 1 validity check.
+func (pl Plan) Covers(probes []geom.Point) bool {
+	for _, q := range probes {
+		ok := false
+		for _, s := range pl.Stops {
+			if s.Within(q, 1) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is the merged outcome of an exploration: the sleeping robots seen,
+// keyed by robot id, with their (initial) positions.
+type Result struct {
+	Asleep map[int]geom.Point
+	// AwakeSeen lists awake robots observed during the sweep, keyed by id,
+	// at the position they were observed.
+	AwakeSeen map[int]geom.Point
+}
+
+func newResult() *Result {
+	return &Result{Asleep: make(map[int]geom.Point), AwakeSeen: make(map[int]geom.Point)}
+}
+
+func (res *Result) absorb(snap sim.Snapshot) {
+	for _, s := range snap.Asleep {
+		res.Asleep[s.ID] = s.Pos
+	}
+	for _, s := range snap.Awake {
+		res.AwakeSeen[s.ID] = s.Pos
+	}
+}
+
+// runPlan drives one robot through pl, looking at every stop, then moves it
+// to dest. Budget exhaustion aborts the remaining stops but still reports
+// what was seen; the error is returned alongside.
+func runPlan(p *sim.Proc, pl Plan, dest geom.Point, res *Result) error {
+	for _, stop := range pl.Stops {
+		if err := p.MoveTo(stop); err != nil {
+			return err
+		}
+		res.absorb(p.Look())
+	}
+	return p.MoveTo(dest)
+}
+
+// Rect explores rectangle r with the caller plus the passive awake team
+// members in memberIDs (all co-located with the caller), implementing
+// Lemma 1: the rectangle is split into k = 1+len(memberIDs) horizontal
+// strips, each robot sweeps one strip, and everyone meets at dest. The call
+// returns when the whole team has gathered at dest with merged knowledge.
+//
+// Team members must be awake and co-located with the caller; they run
+// temporary processes and are passive again (parked at dest) on return.
+func Rect(p *sim.Proc, memberIDs []int, r geom.Rect, dest geom.Point) (*Result, error) {
+	k := 1 + len(memberIDs)
+	strips := r.HStrips(k)
+	key := fmt.Sprintf("explore/%d/%.9f/%p", p.ID(), p.Now(), &strips)
+	results := make([]*Result, k)
+	errs := make([]error, k)
+	for i, id := range memberIDs {
+		i, id := i, id
+		results[i+1] = newResult()
+		p.Engine().Spawn(id, func(q *sim.Proc) {
+			errs[i+1] = runPlan(q, PlanRect(strips[i+1]), dest, results[i+1])
+			q.Barrier(key, k)
+		})
+	}
+	results[0] = newResult()
+	errs[0] = runPlan(p, PlanRect(strips[0]), dest, results[0])
+	p.Barrier(key, k)
+	merged := newResult()
+	var firstErr error
+	for i, res := range results {
+		for id, pos := range res.Asleep {
+			merged.Asleep[id] = pos
+		}
+		for id, pos := range res.AwakeSeen {
+			merged.AwakeSeen[id] = pos
+		}
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
+		}
+	}
+	return merged, firstErr
+}
+
+// SpiralPlan returns snapshot stops along an Archimedean spiral r = a·θ with
+// a = 1/(2π), starting at the origin `center`, out to radius maxR. Unlike the
+// zigzag lattice, stops on adjacent spiral windings are not aligned, so the
+// winding pitch and arc step are both 1 (not √2): a point midway between
+// windings is then at distance ≤ √(0.5²+0.5²) ≈ 0.71 < 1 from some stop.
+// This is the classic Θ(D²)-cost discovery trajectory for a single robot.
+func SpiralPlan(center geom.Point, maxR float64) Plan {
+	if maxR <= 0 {
+		return Plan{Stops: []geom.Point{center}}
+	}
+	const pitch = 1.0
+	a := pitch / (2 * math.Pi)
+	stops := []geom.Point{center}
+	theta := 0.0
+	for {
+		r := a * theta
+		if r > maxR {
+			break
+		}
+		stops = append(stops, center.Add(geom.Pt(r*math.Cos(theta), r*math.Sin(theta))))
+		// Advance θ so the arc step is ≈ pitch (ds ≈ √(r²+a²)·dθ).
+		ds := math.Sqrt(r*r + a*a)
+		theta += pitch / ds
+	}
+	return Plan{Stops: stops}
+}
+
+// Spiral drives robot p along a spiral from its current position until it
+// sees a sleeping robot (returning its sighting), the spiral exceeds maxR, or
+// the budget runs out. found is false in the latter two cases.
+func Spiral(p *sim.Proc, maxR float64) (sim.Sighting, bool, error) {
+	pl := SpiralPlan(p.Self().Pos(), maxR)
+	for _, stop := range pl.Stops {
+		if err := p.MoveTo(stop); err != nil {
+			return sim.Sighting{}, false, err
+		}
+		snap := p.Look()
+		if len(snap.Asleep) > 0 {
+			return snap.Asleep[0], true, nil
+		}
+	}
+	return sim.Sighting{}, false, nil
+}

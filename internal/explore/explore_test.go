@@ -1,0 +1,255 @@
+package explore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"freezetag/internal/geom"
+	"freezetag/internal/sim"
+)
+
+func TestPlanRectCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		w := 0.5 + rng.Float64()*12
+		h := 0.5 + rng.Float64()*12
+		r := geom.RectWH(geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5), w, h)
+		pl := PlanRect(r)
+		probes := make([]geom.Point, 200)
+		for i := range probes {
+			probes[i] = geom.Pt(
+				r.Min.X+rng.Float64()*w,
+				r.Min.Y+rng.Float64()*h,
+			)
+		}
+		// Corners are the hardest points; include them.
+		for _, c := range r.Corners() {
+			probes = append(probes, c)
+		}
+		if !pl.Covers(probes) {
+			t.Fatalf("trial %d: plan does not cover rect %v", trial, r)
+		}
+	}
+}
+
+func TestPlanRectLengthBound(t *testing.T) {
+	// Lemma 1: length O(wh + w + h). Check an explicit constant: the
+	// serpentine visits ny rows of length ≤ w with ≤ √2·ny of vertical travel.
+	for _, dim := range [][2]float64{{4, 4}, {10, 2}, {2, 10}, {20, 20}, {1, 1}} {
+		w, h := dim[0], dim[1]
+		r := geom.RectWH(geom.Origin, w, h)
+		pl := PlanRect(r)
+		length := pl.Length(r.Min, r.Min)
+		bound := w*h + 3*(w+h) + 10
+		if length > bound {
+			t.Errorf("plan length %v exceeds bound %v for %vx%v", length, bound, w, h)
+		}
+	}
+}
+
+func TestPlanDegenerate(t *testing.T) {
+	r := geom.RectWH(geom.Pt(3, 3), 0, 0)
+	pl := PlanRect(r)
+	if len(pl.Stops) != 1 || !pl.Stops[0].Eq(geom.Pt(3, 3)) {
+		t.Errorf("degenerate plan = %v", pl.Stops)
+	}
+}
+
+func TestRectFindsAllSleepers(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	region := geom.RectWH(geom.Origin, 8, 8)
+	var sleepers []geom.Point
+	for i := 0; i < 25; i++ {
+		sleepers = append(sleepers, geom.Pt(rng.Float64()*8, rng.Float64()*8))
+	}
+	e := sim.NewEngine(sim.Config{Source: geom.Origin, Sleepers: sleepers})
+	var res *Result
+	e.Spawn(sim.SourceID, func(p *sim.Proc) {
+		var err error
+		res, err = Rect(p, nil, region, geom.Pt(4, 4))
+		if err != nil {
+			t.Errorf("Rect: %v", err)
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Asleep) != len(sleepers) {
+		t.Fatalf("found %d of %d sleepers", len(res.Asleep), len(sleepers))
+	}
+	for id, pos := range res.Asleep {
+		if !pos.Eq(sleepers[id-1]) {
+			t.Errorf("sleeper %d at %v, recorded %v", id, sleepers[id-1], pos)
+		}
+	}
+	// The explorer must end at the rendezvous point.
+	if !e.Robot(0).Pos().Eq(geom.Pt(4, 4)) {
+		t.Errorf("explorer ended at %v", e.Robot(0).Pos())
+	}
+}
+
+func TestRectTeamSpeedup(t *testing.T) {
+	// A team of k robots should explore in roughly 1/k the single-robot
+	// sweep time plus overhead (Lemma 1: O(wh/k + w + h)).
+	region := geom.RectWH(geom.Origin, 16, 16)
+	rng := rand.New(rand.NewSource(33))
+	var sleepers []geom.Point
+	// Four team members sleeping at the source, plus targets spread out.
+	for i := 0; i < 3; i++ {
+		sleepers = append(sleepers, geom.Origin)
+	}
+	for i := 0; i < 20; i++ {
+		sleepers = append(sleepers, geom.Pt(rng.Float64()*16, rng.Float64()*16))
+	}
+	durations := map[int]float64{}
+	for _, k := range []int{1, 4} {
+		e := sim.NewEngine(sim.Config{Source: geom.Origin, Sleepers: sleepers})
+		e.Spawn(sim.SourceID, func(p *sim.Proc) {
+			var members []int
+			for i := 1; i < k; i++ {
+				p.Wake(i, nil)
+				members = append(members, i)
+			}
+			start := p.Now()
+			res, err := Rect(p, members, region, geom.Pt(8, 8))
+			if err != nil {
+				t.Errorf("Rect: %v", err)
+			}
+			durations[k] = p.Now() - start
+			if len(res.Asleep) < 20 {
+				t.Errorf("k=%d found only %d sleepers", k, len(res.Asleep))
+			}
+		})
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if durations[4] >= durations[1] {
+		t.Errorf("team of 4 (%v) not faster than single robot (%v)", durations[4], durations[1])
+	}
+	if durations[4] > durations[1]/2 {
+		t.Errorf("team of 4 speedup too weak: %v vs %v", durations[4], durations[1])
+	}
+}
+
+func TestRectSynchronizedArrival(t *testing.T) {
+	// All team members must be co-located at dest when Rect returns.
+	region := geom.RectWH(geom.Origin, 10, 10)
+	sleepers := []geom.Point{geom.Origin, geom.Origin, geom.Pt(9, 9)}
+	e := sim.NewEngine(sim.Config{Source: geom.Origin, Sleepers: sleepers})
+	dest := geom.Pt(5, 5)
+	e.Spawn(sim.SourceID, func(p *sim.Proc) {
+		p.Wake(1, nil)
+		p.Wake(2, nil)
+		if _, err := Rect(p, []int{1, 2}, region, dest); err != nil {
+			t.Errorf("Rect: %v", err)
+		}
+		for _, id := range []int{1, 2} {
+			if !p.Engine().Robot(id).Pos().Eq(dest) {
+				t.Errorf("member %d at %v, want %v", id, p.Engine().Robot(id).Pos(), dest)
+			}
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpiralFindsTarget(t *testing.T) {
+	target := geom.Pt(3, 2)
+	e := sim.NewEngine(sim.Config{Source: geom.Origin, Sleepers: []geom.Point{target}})
+	e.Spawn(sim.SourceID, func(p *sim.Proc) {
+		s, found, err := Spiral(p, 10)
+		if err != nil {
+			t.Errorf("Spiral: %v", err)
+		}
+		if !found || s.ID != 1 {
+			t.Errorf("found=%v sighting=%+v", found, s)
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpiralCostQuadratic(t *testing.T) {
+	// Discovery cost of a target at distance D grows ~quadratically: the
+	// spiral must sweep area πD² at width-2 coverage per unit length.
+	cost := func(d float64) float64 {
+		e := sim.NewEngine(sim.Config{Source: geom.Origin, Sleepers: []geom.Point{geom.Pt(d, 0)}})
+		var c float64
+		e.Spawn(sim.SourceID, func(p *sim.Proc) {
+			if _, found, err := Spiral(p, d+2); err != nil || !found {
+				t.Errorf("spiral(d=%v): found=%v err=%v", d, found, err)
+			}
+			c = p.Self().Energy()
+		})
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c4, c16 := cost(4), cost(16)
+	ratio := c16 / c4
+	// Quadratic growth: 16x area; accept 8x..32x.
+	if ratio < 8 || ratio > 32 {
+		t.Errorf("spiral cost ratio = %v (c4=%v c16=%v), want ~16", ratio, c4, c16)
+	}
+}
+
+func TestSpiralMissReturnsNotFound(t *testing.T) {
+	e := sim.NewEngine(sim.Config{Source: geom.Origin, Sleepers: []geom.Point{geom.Pt(50, 0)}})
+	e.Spawn(sim.SourceID, func(p *sim.Proc) {
+		_, found, err := Spiral(p, 5)
+		if err != nil {
+			t.Errorf("Spiral: %v", err)
+		}
+		if found {
+			t.Error("target at 50 should not be found within radius 5")
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpiralPlanCoverage(t *testing.T) {
+	pl := SpiralPlan(geom.Origin, 6)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 300; i++ {
+		ang := rng.Float64() * 2 * math.Pi
+		r := rng.Float64() * 5 // stay a pitch inside maxR
+		probe := geom.Pt(r*math.Cos(ang), r*math.Sin(ang))
+		if !pl.Covers([]geom.Point{probe}) {
+			t.Fatalf("spiral misses %v (r=%v)", probe, r)
+		}
+	}
+}
+
+func TestRectBudgetSurvivesPartially(t *testing.T) {
+	// With a tiny budget the explorer halts but Rect still returns without
+	// deadlock and reports what was seen.
+	region := geom.RectWH(geom.Origin, 10, 10)
+	e := sim.NewEngine(sim.Config{
+		Source:   geom.Origin,
+		Sleepers: []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(9.5, 9.5)},
+		Budget:   3,
+	})
+	e.Spawn(sim.SourceID, func(p *sim.Proc) {
+		res, err := Rect(p, nil, region, geom.Pt(5, 5))
+		if err == nil {
+			t.Error("expected budget error")
+		}
+		if len(res.Asleep) == 0 {
+			t.Error("should have seen the nearby sleeper before halting")
+		}
+	})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Error("expected a budget violation record")
+	}
+}

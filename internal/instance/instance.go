@@ -1,0 +1,148 @@
+// Package instance defines dFTP problem instances (a source plus a sleeping
+// point set) and generators for the workload families used across the test
+// and benchmark suites: random ℓ-connected swarms, cluster chains, grids,
+// the Theorem 6 rectilinear-path construction, and the Theorem 2 disk-grid
+// layout.
+package instance
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"freezetag/internal/diskgraph"
+	"freezetag/internal/geom"
+)
+
+// Instance is one dFTP problem: a source position and the initial positions
+// of the sleeping robots.
+type Instance struct {
+	Name   string       `json:"name"`
+	Source geom.Point   `json:"source"`
+	Points []geom.Point `json:"points"`
+}
+
+// N returns the number of sleeping robots.
+func (in *Instance) N() int { return len(in.Points) }
+
+// Params computes the exact (ρ*, ℓ*, ξ) of the instance.
+func (in *Instance) Params() diskgraph.Params {
+	return diskgraph.ComputeParams(in.Source, in.Points)
+}
+
+// Save writes the instance as JSON to path.
+func (in *Instance) Save(path string) error {
+	data, err := json.MarshalIndent(in, "", "  ")
+	if err != nil {
+		return fmt.Errorf("instance: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("instance: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a JSON instance from path.
+func Load(path string) (*Instance, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("instance: read %s: %w", path, err)
+	}
+	var in Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("instance: parse %s: %w", path, err)
+	}
+	return &in, nil
+}
+
+// RandomWalk generates n points by a random walk from the source with steps
+// uniform in [step/2, step] and uniform directions. The result is
+// (step)-connected by construction (every consecutive pair is within step),
+// giving dense, organic swarms.
+func RandomWalk(rng *rand.Rand, n int, step float64) *Instance {
+	pts := make([]geom.Point, n)
+	cur := geom.Origin
+	for i := range pts {
+		d := step/2 + rng.Float64()*step/2
+		ang := rng.Float64() * 2 * math.Pi
+		cur = cur.Add(geom.Pt(d*math.Cos(ang), d*math.Sin(ang)))
+		pts[i] = cur
+	}
+	return &Instance{
+		Name:   fmt.Sprintf("walk-n%d-s%.2g", n, step),
+		Source: geom.Origin,
+		Points: pts,
+	}
+}
+
+// UniformDisk generates n points uniformly in the disk of the given radius
+// around the source. Connectivity is whatever density yields; dense settings
+// (n ≫ radius²) give small ℓ*.
+func UniformDisk(rng *rand.Rand, n int, radius float64) *Instance {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		r := radius * math.Sqrt(rng.Float64())
+		ang := rng.Float64() * 2 * math.Pi
+		pts[i] = geom.Pt(r*math.Cos(ang), r*math.Sin(ang))
+	}
+	return &Instance{
+		Name:   fmt.Sprintf("disk-n%d-r%.3g", n, radius),
+		Source: geom.Origin,
+		Points: pts,
+	}
+}
+
+// ClusterChain generates `clusters` dense clusters of `per` points each,
+// strung on a line with centers `sep` apart and cluster radius `radius`.
+// With sep ≫ radius this family has ℓ* ≈ sep − 2·radius and exercises the
+// regime where ℓ dominates the makespan bounds.
+func ClusterChain(rng *rand.Rand, clusters, per int, sep, radius float64) *Instance {
+	var pts []geom.Point
+	for c := 1; c <= clusters; c++ {
+		center := geom.Pt(float64(c)*sep, 0)
+		for i := 0; i < per; i++ {
+			r := radius * math.Sqrt(rng.Float64())
+			ang := rng.Float64() * 2 * math.Pi
+			pts = append(pts, center.Add(geom.Pt(r*math.Cos(ang), r*math.Sin(ang))))
+		}
+	}
+	return &Instance{
+		Name:   fmt.Sprintf("chain-c%d-p%d-sep%.3g", clusters, per, sep),
+		Source: geom.Origin,
+		Points: pts,
+	}
+}
+
+// GridSwarm generates a k×k grid of robots with the given spacing, the
+// lower-left robot at (spacing, spacing). Connectivity threshold equals
+// spacing exactly; a fully deterministic, reproducible workload.
+func GridSwarm(k int, spacing float64) *Instance {
+	pts := make([]geom.Point, 0, k*k)
+	for i := 1; i <= k; i++ {
+		for j := 1; j <= k; j++ {
+			pts = append(pts, geom.Pt(float64(i)*spacing, float64(j)*spacing))
+		}
+	}
+	return &Instance{
+		Name:   fmt.Sprintf("grid-%dx%d-s%.3g", k, k, spacing),
+		Source: geom.Origin,
+		Points: pts,
+	}
+}
+
+// Line generates n robots on the x-axis spaced `spacing` apart starting at
+// (spacing, 0): the canonical maximum-eccentricity instance with ξℓ = ρ* =
+// n·spacing.
+func Line(n int, spacing float64) *Instance {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i+1)*spacing, 0)
+	}
+	return &Instance{
+		Name:   fmt.Sprintf("line-n%d-s%.3g", n, spacing),
+		Source: geom.Origin,
+		Points: pts,
+	}
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value", "ratio")
+	tb.AddRow("alpha", 3.14159, 1.0)
+	tb.AddRow("beta-long-name", 123456.0, 0.001)
+	out := tb.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta-long-name") {
+		t.Errorf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// Alignment: header and separator have the same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("misaligned separator:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if s := formatFloat(0); s != "0" {
+		t.Errorf("0 -> %q", s)
+	}
+	if s := formatFloat(3.14159); s != "3.14" {
+		t.Errorf("pi -> %q", s)
+	}
+	if s := formatFloat(123456); !strings.Contains(s, "e+") {
+		t.Errorf("large -> %q", s)
+	}
+	if s := formatFloat(0.0001); !strings.Contains(s, "e-") {
+		t.Errorf("small -> %q", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x,y", "quote\"d")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("csv header missing: %q", out)
+	}
+	if !strings.Contains(out, `"x,y"`) {
+		t.Errorf("csv quoting broken: %q", out)
+	}
+}

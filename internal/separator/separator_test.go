@@ -1,0 +1,163 @@
+package separator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"freezetag/internal/geom"
+)
+
+func TestSepContains(t *testing.T) {
+	sp := Of(geom.Sq(geom.Origin, 10), 1) // outer 10, inner 8
+	cases := []struct {
+		p    geom.Point
+		want bool
+	}{
+		{geom.Pt(4.5, 0), true},   // in the annulus
+		{geom.Pt(0, -4.5), true},  // annulus, south
+		{geom.Pt(0, 0), false},    // deep inside
+		{geom.Pt(3.9, 0), false},  // inside inner square
+		{geom.Pt(6, 0), false},    // outside outer square
+		{geom.Pt(4, 0), true},     // inner boundary belongs to separator
+		{geom.Pt(5, 5), true},     // outer corner
+		{geom.Pt(4.2, 4.2), true}, // annulus corner region
+	}
+	for _, c := range cases {
+		if got := sp.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSepDegenerate(t *testing.T) {
+	// Width ≤ 2ℓ: the separator is the whole square.
+	sp := Of(geom.Sq(geom.Origin, 2), 1.5)
+	if sp.Inner().Width != 0 {
+		t.Errorf("inner width = %v, want 0", sp.Inner().Width)
+	}
+	if !sp.Contains(geom.Origin) {
+		t.Error("degenerate separator should contain the center")
+	}
+	rects := sp.Rects()
+	if len(rects) != 1 {
+		t.Fatalf("degenerate separator rects = %d", len(rects))
+	}
+}
+
+func TestSepRectsTileAnnulus(t *testing.T) {
+	sp := Of(geom.Sq(geom.Origin, 12), 2)
+	rects := sp.Rects()
+	if len(rects) != 4 {
+		t.Fatalf("rects = %d, want 4", len(rects))
+	}
+	// Total area must equal the annulus area: 12² − 8² = 80.
+	var area float64
+	for _, r := range rects {
+		area += r.Area()
+	}
+	if math.Abs(area-80) > 1e-9 {
+		t.Errorf("rect areas sum to %v, want 80", area)
+	}
+	// Every random separator point is in some rect, and rects stay in the
+	// annulus.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		p := geom.Pt(rng.Float64()*12-6, rng.Float64()*12-6)
+		inRects := false
+		for _, r := range rects {
+			if r.Contains(p) {
+				inRects = true
+				break
+			}
+		}
+		if sp.Contains(p) != inRects {
+			// Boundary points may legitimately differ by Eps; re-check with
+			// a strict margin before failing.
+			if distToAnnulusBoundary(sp, p) > 1e-6 {
+				t.Fatalf("point %v: sep=%v rects=%v", p, sp.Contains(p), inRects)
+			}
+		}
+	}
+}
+
+// distToAnnulusBoundary approximates how close p is to the annulus edges.
+func distToAnnulusBoundary(sp Sep, p geom.Point) float64 {
+	out := sp.Outer.Rect()
+	in := sp.Inner().Rect()
+	d := math.Abs(out.DistTo(p))
+	for _, v := range []float64{
+		math.Abs(p.X - out.Min.X), math.Abs(p.X - out.Max.X),
+		math.Abs(p.Y - out.Min.Y), math.Abs(p.Y - out.Max.Y),
+		math.Abs(p.X - in.Min.X), math.Abs(p.X - in.Max.X),
+		math.Abs(p.Y - in.Min.Y), math.Abs(p.Y - in.Max.Y),
+	} {
+		if v < d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestFilter(t *testing.T) {
+	sp := Of(geom.Sq(geom.Origin, 10), 1)
+	pts := []geom.Point{geom.Pt(4.5, 0), geom.Pt(0, 0), geom.Pt(9, 9)}
+	got := sp.Filter(pts)
+	if len(got) != 1 || !got[0].Eq(geom.Pt(4.5, 0)) {
+		t.Errorf("Filter = %v", got)
+	}
+}
+
+// Lemma 3 property: on random ℓ-connected instances, any ℓ-edge from strictly
+// inside the inner square to strictly outside the outer square cannot exist.
+func TestLemma3Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 50; trial++ {
+		ell := 0.5 + rng.Float64()*2
+		width := 4*ell + rng.Float64()*10
+		sp := Of(geom.Sq(geom.Origin, width), ell)
+		n := 20 + rng.Intn(60)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*2*width-width, rng.Float64()*2*width-width)
+		}
+		if !sp.SeparatesLemma3(pts) {
+			t.Fatalf("trial %d: Lemma 3 violated (ℓ=%v width=%v)", trial, ell, width)
+		}
+	}
+}
+
+// Corollary 2 property: if no point lies in sep(S), then points are either
+// all inside or all outside — for ℓ-connected point sets.
+func TestCorollary2(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 40; trial++ {
+		// Build an ℓ-connected random walk.
+		ell := 1.0
+		n := 10 + rng.Intn(30)
+		pts := make([]geom.Point, n)
+		cur := geom.Origin
+		for i := range pts {
+			cur = cur.Add(geom.Pt(rng.Float64()*1.2-0.6, rng.Float64()*1.2-0.6))
+			pts[i] = cur
+		}
+		width := 4 + rng.Float64()*10
+		sp := Of(geom.Sq(geom.Origin, width), ell)
+		if len(sp.Filter(pts)) > 0 {
+			continue // separator occupied: Corollary 2 says nothing
+		}
+		inner := sp.Inner().Rect()
+		in, outCount := 0, 0
+		for _, p := range pts {
+			if inner.Contains(p) {
+				in++
+			} else if !sp.Outer.Contains(p) {
+				outCount++
+			}
+		}
+		if in > 0 && outCount > 0 {
+			t.Fatalf("trial %d: empty separator but points on both sides (%d in, %d out)",
+				trial, in, outCount)
+		}
+	}
+}

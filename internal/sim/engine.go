@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"freezetag/internal/geom"
+	"freezetag/internal/spatial"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Source is the initial position of the always-awake source robot.
+	Source geom.Point
+	// Sleepers are the initial positions of the n sleeping robots; robot i+1
+	// sleeps at Sleepers[i].
+	Sleepers []geom.Point
+	// Budget is the per-robot energy budget B. Zero or negative means
+	// unconstrained (stored as +Inf).
+	Budget float64
+	// Trace, when non-nil, receives every simulation event in order.
+	Trace func(Event)
+}
+
+// Event is a trace record emitted by the engine.
+type Event struct {
+	T     float64
+	Robot int
+	Kind  string // "move", "look", "wake", "spawn", "barrier", "done", "halt"
+	Pos   geom.Point
+	Extra string
+}
+
+// Engine is the deterministic discrete-event simulator. Create one with
+// NewEngine, install the source program with Spawn, then call Run.
+//
+// Engine is not safe for concurrent use from outside; internally it enforces
+// a strict handoff so at most one robot process executes at any instant.
+type Engine struct {
+	now    float64
+	seq    int64
+	robots []*Robot
+
+	sleeping *spatial.Grid // indexes robots by id while asleep (look radius 1)
+	awake    *spatial.Grid // indexes awake robots by id
+
+	pq       eventHeap
+	park     chan parkMsg
+	barriers map[string]*barrier
+	// parked holds every process currently parked indefinitely (barriers,
+	// wait-groups); used for deadlock detection and shutdown.
+	parked map[*Proc]struct{}
+
+	trace func(Event)
+
+	asleepCount int
+	lastWake    float64
+	violations  []string
+	running     bool
+}
+
+type parkMsg struct {
+	p    *Proc
+	kind parkKind
+	at   float64
+}
+
+type parkKind int
+
+const (
+	parkYield parkKind = iota + 1 // resume at time `at`
+	parkWait                      // parked indefinitely (barrier)
+	parkDone                      // process finished
+)
+
+type schedItem struct {
+	t   float64
+	seq int64
+	p   *Proc
+}
+
+type eventHeap []schedItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(schedItem)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type barrier struct {
+	need    int
+	waiters []*Proc
+}
+
+// NewEngine builds an engine over the given instance. Robot 0 is the awake
+// source; robots 1..n start asleep at Config.Sleepers.
+func NewEngine(cfg Config) *Engine {
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = math.Inf(1)
+	}
+	e := &Engine{
+		sleeping: spatial.NewGrid(1),
+		awake:    spatial.NewGrid(1),
+		park:     make(chan parkMsg),
+		barriers: make(map[string]*barrier),
+		parked:   make(map[*Proc]struct{}),
+		trace:    cfg.Trace,
+	}
+	src := &Robot{id: SourceID, initPos: cfg.Source, pos: cfg.Source, state: Awake, budget: budget}
+	e.robots = append(e.robots, src)
+	e.awake.Insert(SourceID, cfg.Source)
+	for i, p := range cfg.Sleepers {
+		r := &Robot{id: i + 1, initPos: p, pos: p, state: Asleep, budget: budget}
+		e.robots = append(e.robots, r)
+		e.sleeping.Insert(r.id, p)
+	}
+	e.asleepCount = len(cfg.Sleepers)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Robot returns the robot with the given id; it panics on unknown ids, which
+// are always a programming error in algorithm code.
+func (e *Engine) Robot(id int) *Robot {
+	if id < 0 || id >= len(e.robots) {
+		panic(fmt.Sprintf("sim: unknown robot id %d", id))
+	}
+	return e.robots[id]
+}
+
+// NumRobots returns n+1 (source included).
+func (e *Engine) NumRobots() int { return len(e.robots) }
+
+// AsleepCount returns the number of robots still asleep.
+func (e *Engine) AsleepCount() int { return e.asleepCount }
+
+// Spawn schedules fn to run as a new process on the given awake robot at the
+// current virtual time. It is the entry point for the source program and for
+// handlers attached to newly awakened robots.
+func (e *Engine) Spawn(id int, fn func(*Proc)) {
+	r := e.Robot(id)
+	if r.state != Awake {
+		panic(fmt.Sprintf("sim: Spawn on non-awake robot %d", id))
+	}
+	p := &Proc{eng: e, r: r, resume: make(chan struct{})}
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil && rec != errKilled {
+				panic(rec)
+			}
+		}()
+		<-p.resume
+		fn(p)
+		e.park <- parkMsg{p: p, kind: parkDone}
+	}()
+	e.push(p, e.now)
+	e.emit(Event{T: e.now, Robot: id, Kind: "spawn", Pos: r.pos})
+}
+
+func (e *Engine) push(p *Proc, t float64) {
+	delete(e.parked, p)
+	e.seq++
+	heap.Push(&e.pq, schedItem{t: t, seq: e.seq, p: p})
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.trace != nil {
+		e.trace(ev)
+	}
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Makespan is the time the last robot was awakened. If some robots were
+	// never awakened it is the time of the last event and AllAwake is false.
+	Makespan float64
+	// Duration is the virtual time at which all processes terminated
+	// (includes post-wake-up movement and synchronization).
+	Duration float64
+	AllAwake bool
+	Awakened int
+	// MaxEnergy is the largest per-robot energy spent; EnergyByRobot lists
+	// all of them indexed by robot id.
+	MaxEnergy     float64
+	TotalEnergy   float64
+	EnergyByRobot []float64
+	// Violations lists budget violations (robot halted mid-algorithm).
+	Violations []string
+}
+
+// ErrDeadlock is returned by Run when processes remain parked on a barrier
+// that can never be released.
+var ErrDeadlock = errors.New("sim: deadlock — processes parked on unreleased barriers")
+
+// Run executes the simulation to completion and returns the summary. It is
+// an error to call Run twice or before any process was spawned.
+func (e *Engine) Run() (Result, error) {
+	if e.running {
+		return Result{}, errors.New("sim: Run called twice")
+	}
+	e.running = true
+	for e.pq.Len() > 0 {
+		it := heap.Pop(&e.pq).(schedItem)
+		if it.t < e.now-geom.Eps {
+			return Result{}, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, it.t)
+		}
+		if it.t > e.now {
+			e.now = it.t
+		}
+		it.p.resume <- struct{}{}
+		msg := <-e.park
+		switch msg.kind {
+		case parkYield:
+			e.push(msg.p, msg.at)
+		case parkWait:
+			// Parked indefinitely; the releasing process re-enqueues it.
+			e.parked[msg.p] = struct{}{}
+		case parkDone:
+			e.emit(Event{T: e.now, Robot: msg.p.r.id, Kind: "done", Pos: msg.p.r.pos})
+		}
+	}
+	var err error
+	if len(e.parked) > 0 {
+		err = ErrDeadlock
+		// Unwind parked goroutines so no process leaks past Run. Each killed
+		// process panics with a sentinel right after resuming, touching no
+		// engine state.
+		for p := range e.parked {
+			p.killed = true
+			p.resume <- struct{}{}
+		}
+		e.parked = make(map[*Proc]struct{})
+		e.barriers = make(map[string]*barrier)
+	}
+	return e.result(), err
+}
+
+func (e *Engine) result() Result {
+	res := Result{
+		Makespan:      e.lastWake,
+		Duration:      e.now,
+		AllAwake:      e.asleepCount == 0,
+		Awakened:      len(e.robots) - 1 - e.asleepCount,
+		EnergyByRobot: make([]float64, len(e.robots)),
+		Violations:    append([]string(nil), e.violations...),
+	}
+	if !res.AllAwake {
+		res.Makespan = e.now
+	}
+	for i, r := range e.robots {
+		res.EnergyByRobot[i] = r.energy
+		res.TotalEnergy += r.energy
+		if r.energy > res.MaxEnergy {
+			res.MaxEnergy = r.energy
+		}
+	}
+	return res
+}
+
+// SleepingWithin returns the ids of sleeping robots within distance d of p,
+// sorted ascending. This is the engine-level query behind Look; algorithm
+// code must use Proc.Look, which fixes d = 1.
+func (e *Engine) sleepingWithin(p geom.Point, d float64) []int {
+	ids := e.sleeping.Within(nil, p, d)
+	sort.Ints(ids)
+	return ids
+}
+
+func (e *Engine) awakeWithin(p geom.Point, d float64) []int {
+	ids := e.awake.Within(nil, p, d)
+	sort.Ints(ids)
+	return ids
+}
+
+// wake flips robot id to Awake at the current time. Caller guarantees
+// co-location (checked by Proc.Wake).
+func (e *Engine) wake(id int) {
+	r := e.Robot(id)
+	if r.state != Asleep {
+		panic(fmt.Sprintf("sim: waking non-asleep robot %d", id))
+	}
+	r.state = Awake
+	r.wakeAt = e.now
+	e.sleeping.Remove(id)
+	e.awake.Insert(id, r.pos)
+	e.asleepCount--
+	if e.now > e.lastWake {
+		e.lastWake = e.now
+	}
+	e.emit(Event{T: e.now, Robot: id, Kind: "wake", Pos: r.pos})
+}
+
+// moveRobot finalizes a completed move: position, energy, index.
+func (e *Engine) moveRobot(r *Robot, dst geom.Point, dist float64) {
+	r.pos = dst
+	r.energy += dist
+	e.awake.Insert(r.id, dst)
+	e.emit(Event{T: e.now, Robot: r.id, Kind: "move", Pos: dst})
+}
+
+// AllRobots returns the engine's robots; callers must not mutate them. Used
+// by harnesses for reporting.
+func (e *Engine) AllRobots() []*Robot { return e.robots }

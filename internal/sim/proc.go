@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"freezetag/internal/geom"
+)
+
+// Proc is the blocking API one robot process programs against. All methods
+// must be called from the process's own goroutine (the function passed to
+// Spawn or Wake); the engine guarantees only one process runs at a time, so
+// Proc methods may freely read and mutate engine state.
+type Proc struct {
+	eng    *Engine
+	r      *Robot
+	resume chan struct{}
+	killed bool // set by the engine to unwind a deadlocked process
+}
+
+// errKilled unwinds a process goroutine that the engine terminated while it
+// was parked on a barrier that can never release (deadlock shutdown path).
+var errKilled = &struct{ s string }{"sim: process killed"}
+
+// ID returns the robot id this process runs on.
+func (p *Proc) ID() int { return p.r.id }
+
+// Self returns the robot record.
+func (p *Proc) Self() *Robot { return p.r }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Engine returns the owning engine, for read-only queries by harness code.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// yieldAt parks the process until virtual time t.
+func (p *Proc) yieldAt(t float64) {
+	p.eng.park <- parkMsg{p: p, kind: parkYield, at: t}
+	<-p.resume
+}
+
+// parkWait parks the process indefinitely; some other process re-enqueues it.
+func (p *Proc) parkWait() {
+	p.eng.park <- parkMsg{p: p, kind: parkWait}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// ErrBudget is the error type reported when a move would exceed the robot's
+// energy budget. The robot is halted in place with its budget exhausted up to
+// the reachable prefix of the move, matching the model where a robot simply
+// cannot move further.
+type ErrBudget struct {
+	Robot  int
+	Needed float64
+	Left   float64
+}
+
+// Error implements error.
+func (e *ErrBudget) Error() string {
+	return fmt.Sprintf("sim: robot %d out of energy (needs %.4g, has %.4g)", e.Robot, e.Needed, e.Left)
+}
+
+// MoveTo moves the robot in a straight line to dst at unit speed, blocking
+// for virtual time equal to the distance. If the move would exceed the energy
+// budget the robot advances as far as its budget allows, is halted, and an
+// *ErrBudget is returned.
+func (p *Proc) MoveTo(dst geom.Point) error {
+	d := p.r.pos.Dist(dst)
+	if d <= geom.Eps {
+		return nil
+	}
+	if left := p.r.remaining(); d > left+geom.Eps {
+		// Partial move to budget exhaustion, then halt.
+		frac := 0.0
+		if d > 0 && left > 0 {
+			frac = left / d
+		}
+		stop := p.r.pos.Lerp(dst, frac)
+		if left > 0 {
+			p.yieldAt(p.eng.now + left)
+			p.eng.moveRobot(p.r, stop, left)
+		}
+		p.r.stopped = true
+		err := &ErrBudget{Robot: p.r.id, Needed: d, Left: left}
+		p.eng.violations = append(p.eng.violations, err.Error())
+		p.eng.emit(Event{T: p.eng.now, Robot: p.r.id, Kind: "halt", Pos: p.r.pos})
+		return err
+	}
+	p.yieldAt(p.eng.now + d)
+	p.eng.moveRobot(p.r, dst, d)
+	return nil
+}
+
+// MovePath moves the robot along the polyline, stopping early on budget
+// exhaustion.
+func (p *Proc) MovePath(path []geom.Point) error {
+	for _, q := range path {
+		if err := p.MoveTo(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitUntil blocks until virtual time t. Times in the past return
+// immediately; waiting consumes no energy.
+func (p *Proc) WaitUntil(t float64) {
+	if t <= p.eng.now {
+		return
+	}
+	p.yieldAt(t)
+}
+
+// Wait blocks for duration d ≥ 0.
+func (p *Proc) Wait(d float64) {
+	if d > 0 {
+		p.yieldAt(p.eng.now + d)
+	}
+}
+
+// Snapshot is the result of a Look: the robots visible within distance 1,
+// separated by status, with their *current* positions. For sleeping robots
+// the current position is the initial position p_i.
+type Snapshot struct {
+	Asleep []Sighting
+	Awake  []Sighting
+}
+
+// Sighting is one visible robot.
+type Sighting struct {
+	ID  int
+	Pos geom.Point
+}
+
+// Look performs a discrete snapshot: all robots within Euclidean distance 1
+// of the caller, in ascending id order. The caller itself is excluded.
+func (p *Proc) Look() Snapshot {
+	var snap Snapshot
+	for _, id := range p.eng.sleepingWithin(p.r.pos, 1) {
+		snap.Asleep = append(snap.Asleep, Sighting{ID: id, Pos: p.eng.Robot(id).pos})
+	}
+	for _, id := range p.eng.awakeWithin(p.r.pos, 1) {
+		if id == p.r.id {
+			continue
+		}
+		snap.Awake = append(snap.Awake, Sighting{ID: id, Pos: p.eng.Robot(id).pos})
+	}
+	p.eng.emit(Event{T: p.eng.now, Robot: p.r.id, Kind: "look", Pos: p.r.pos})
+	return snap
+}
+
+// Wake awakens the co-located sleeping robot id. If handler is non-nil a new
+// process is spawned on the awakened robot at the current time; a nil handler
+// leaves it awake but passive (a recruited team member escorted by its team
+// leader). Wake panics if the robots are not co-located or the target is not
+// asleep — both are algorithm bugs, not runtime conditions.
+func (p *Proc) Wake(id int, handler func(*Proc)) {
+	r := p.eng.Robot(id)
+	if r.state != Asleep {
+		panic(fmt.Sprintf("sim: robot %d is not asleep", id))
+	}
+	if !p.r.pos.Eq(r.pos) {
+		panic(fmt.Sprintf("sim: robot %d at %v cannot wake robot %d at %v: not co-located",
+			p.r.id, p.r.pos, id, r.pos))
+	}
+	p.eng.wake(id)
+	if handler != nil {
+		p.eng.Spawn(id, handler)
+	}
+}
+
+// Escort moves the caller and every robot in ids (all awake, co-located with
+// the caller) to dst as one co-located group: everyone pays the distance in
+// energy, and the group arrives together after that travel time. It
+// implements team movement. If any member exhausts its budget, that member
+// halts in place and is dropped from the team; the returned slice holds the
+// ids that completed the move (the caller is not listed). A caller budget
+// exhaustion returns the error and moves nobody further.
+func (p *Proc) Escort(ids []int, dst geom.Point) ([]int, error) {
+	d := p.r.pos.Dist(dst)
+	for _, id := range ids {
+		r := p.eng.Robot(id)
+		if r.state != Awake {
+			panic(fmt.Sprintf("sim: Escort of non-awake robot %d", id))
+		}
+		if !r.pos.Eq(p.r.pos) {
+			panic(fmt.Sprintf("sim: Escort member %d at %v not co-located with leader at %v",
+				id, r.pos, p.r.pos))
+		}
+	}
+	if err := p.MoveTo(dst); err != nil {
+		return nil, err
+	}
+	arrived := make([]int, 0, len(ids))
+	for _, id := range ids {
+		r := p.eng.Robot(id)
+		if d > r.remaining()+geom.Eps {
+			// Member stops where its budget runs out along the segment.
+			left := r.remaining()
+			frac := 0.0
+			if d > 0 && left > 0 {
+				frac = left / d
+			}
+			stop := r.pos.Lerp(dst, frac)
+			p.eng.moveRobot(r, stop, left)
+			r.stopped = true
+			e := &ErrBudget{Robot: id, Needed: d, Left: left}
+			p.eng.violations = append(p.eng.violations, e.Error())
+			continue
+		}
+		p.eng.moveRobot(r, dst, d)
+		arrived = append(arrived, id)
+	}
+	return arrived, nil
+}
+
+// Barrier parks the process until need processes in total have arrived at the
+// same key, then releases them all at the arrival time of the last. Keys are
+// single-use: the barrier is deleted on release.
+func (p *Proc) Barrier(key string, need int) {
+	if need <= 0 {
+		panic("sim: Barrier needs a positive count")
+	}
+	b := p.eng.barriers[key]
+	if b == nil {
+		b = &barrier{need: need}
+		p.eng.barriers[key] = b
+	}
+	if b.need != need {
+		panic(fmt.Sprintf("sim: Barrier %q count mismatch: %d vs %d", key, b.need, need))
+	}
+	p.eng.emit(Event{T: p.eng.now, Robot: p.r.id, Kind: "barrier", Pos: p.r.pos, Extra: key})
+	if len(b.waiters)+1 == need {
+		// Last arriver releases everyone, sorted for determinism.
+		ws := b.waiters
+		delete(p.eng.barriers, key)
+		sort.Slice(ws, func(i, j int) bool { return ws[i].r.id < ws[j].r.id })
+		for _, w := range ws {
+			p.eng.push(w, p.eng.now)
+		}
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	p.parkWait()
+}
+
+// Stopped reports whether the robot was halted by budget exhaustion.
+func (p *Proc) Stopped() bool { return p.r.stopped }

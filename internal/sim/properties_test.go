@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"freezetag/internal/geom"
+)
+
+// Property: total energy equals the sum of all move distances, and per-robot
+// energy equals each robot's own path length, under random interleaved
+// programs.
+func TestEnergyConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5)
+		sleepers := make([]geom.Point, n)
+		for i := range sleepers {
+			sleepers[i] = geom.Origin // co-located for instant wake
+		}
+		e := NewEngine(Config{Source: geom.Origin, Sleepers: sleepers})
+		expect := make([]float64, n+1)
+		// Pre-generate random walks per robot so expectations are exact.
+		walks := make([][]geom.Point, n+1)
+		for r := 0; r <= n; r++ {
+			cur := geom.Origin
+			steps := 1 + rng.Intn(6)
+			for s := 0; s < steps; s++ {
+				next := geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+				expect[r] += cur.Dist(next)
+				cur = next
+				walks[r] = append(walks[r], next)
+			}
+		}
+		e.Spawn(SourceID, func(p *Proc) {
+			for i := 1; i <= n; i++ {
+				i := i
+				p.Wake(i, func(q *Proc) {
+					if err := q.MovePath(walks[q.ID()]); err != nil {
+						t.Errorf("walk: %v", err)
+					}
+				})
+			}
+			if err := p.MovePath(walks[0]); err != nil {
+				t.Errorf("walk: %v", err)
+			}
+		})
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for r := 0; r <= n; r++ {
+			want += expect[r]
+			if math.Abs(res.EnergyByRobot[r]-expect[r]) > 1e-9 {
+				t.Fatalf("trial %d robot %d: energy %v, want %v",
+					trial, r, res.EnergyByRobot[r], expect[r])
+			}
+		}
+		if math.Abs(res.TotalEnergy-want) > 1e-6 {
+			t.Fatalf("trial %d: total %v, want %v", trial, res.TotalEnergy, want)
+		}
+	}
+}
+
+// Property: makespan never exceeds duration, and wake times are
+// non-decreasing in the order robots were woken.
+func TestMakespanWithinDuration(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(8)
+		sleepers := make([]geom.Point, n)
+		for i := range sleepers {
+			sleepers[i] = geom.Pt(rng.Float64()*6-3, rng.Float64()*6-3)
+		}
+		e := NewEngine(Config{Source: geom.Origin, Sleepers: sleepers})
+		e.Spawn(SourceID, func(p *Proc) {
+			// Chain wake-up in id order, then wander a bit afterwards.
+			for i := 1; i <= n; i++ {
+				if err := p.MoveTo(sleepers[i-1]); err != nil {
+					t.Errorf("move: %v", err)
+					return
+				}
+				p.Wake(i, nil)
+			}
+			if err := p.MoveTo(geom.Origin); err != nil {
+				t.Errorf("move: %v", err)
+			}
+		})
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllAwake {
+			t.Fatal("chain wake incomplete")
+		}
+		if res.Makespan > res.Duration+1e-12 {
+			t.Fatalf("makespan %v > duration %v", res.Makespan, res.Duration)
+		}
+		prev := 0.0
+		for i := 1; i <= n; i++ {
+			w := e.Robot(i).WakeTime()
+			if w < prev-1e-12 {
+				t.Fatalf("wake times not monotone: %v after %v", w, prev)
+			}
+			prev = w
+		}
+	}
+}
+
+// Property: a robot's wake time is at least its distance from the source
+// (information cannot travel faster than the robots).
+func TestWakeTimeDistanceFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(6)
+		sleepers := make([]geom.Point, n)
+		for i := range sleepers {
+			sleepers[i] = geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+		}
+		e := NewEngine(Config{Source: geom.Origin, Sleepers: sleepers})
+		e.Spawn(SourceID, func(p *Proc) {
+			for i := 1; i <= n; i++ {
+				if err := p.MoveTo(sleepers[i-1]); err != nil {
+					t.Errorf("move: %v", err)
+					return
+				}
+				p.Wake(i, nil)
+			}
+		})
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= n; i++ {
+			r := e.Robot(i)
+			if r.WakeTime() < r.InitPos().Norm()-1e-9 {
+				t.Fatalf("robot %d woke at %v, below distance floor %v",
+					i, r.WakeTime(), r.InitPos().Norm())
+			}
+		}
+	}
+}
+
+// Property: Look results are exactly the ball-membership predicate.
+func TestLookMatchesPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		sleepers := make([]geom.Point, n)
+		for i := range sleepers {
+			sleepers[i] = geom.Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+		}
+		at := geom.Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+		e := NewEngine(Config{Source: at, Sleepers: sleepers})
+		e.Spawn(SourceID, func(p *Proc) {
+			snap := p.Look()
+			seen := map[int]bool{}
+			for _, s := range snap.Asleep {
+				seen[s.ID] = true
+			}
+			for i := 1; i <= n; i++ {
+				want := sleepers[i-1].Within(at, 1)
+				if seen[i] != want {
+					t.Errorf("trial %d: robot %d visibility %v, want %v",
+						trial, i, seen[i], want)
+				}
+			}
+		})
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEscortChainPreservesColocation(t *testing.T) {
+	sleepers := []geom.Point{geom.Origin, geom.Origin, geom.Origin}
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: sleepers})
+	e.Spawn(SourceID, func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Wake(i, nil)
+		}
+		members := []int{1, 2, 3}
+		waypoints := []geom.Point{geom.Pt(3, 0), geom.Pt(3, 4), geom.Pt(-1, 2)}
+		for _, wp := range waypoints {
+			var err error
+			members, err = p.Escort(members, wp)
+			if err != nil {
+				t.Fatalf("escort: %v", err)
+			}
+			for _, id := range members {
+				if !p.Engine().Robot(id).Pos().Eq(wp) {
+					t.Fatalf("member %d at %v, want %v", id, p.Engine().Robot(id).Pos(), wp)
+				}
+			}
+		}
+		if len(members) != 3 {
+			t.Fatalf("lost members: %v", members)
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierManyParticipants(t *testing.T) {
+	n := 12
+	sleepers := make([]geom.Point, n)
+	for i := range sleepers {
+		sleepers[i] = geom.Origin
+	}
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: sleepers})
+	var releases []float64
+	e.Spawn(SourceID, func(p *Proc) {
+		for i := 1; i <= n; i++ {
+			i := i
+			p.Wake(i, func(q *Proc) {
+				q.Wait(float64(i)) // staggered arrivals 1..n
+				q.Barrier("big", n+1)
+				releases = append(releases, q.Now())
+			})
+		}
+		p.Barrier("big", n+1)
+		releases = append(releases, p.Now())
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(releases) != n+1 {
+		t.Fatalf("%d releases, want %d", len(releases), n+1)
+	}
+	for _, r := range releases {
+		if math.Abs(r-float64(n)) > 1e-9 {
+			t.Fatalf("release at %v, want %d (last arrival)", r, n)
+		}
+	}
+}

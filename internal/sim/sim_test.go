@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"freezetag/internal/geom"
+)
+
+func TestMoveTiming(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin})
+	var arrive float64
+	e.Spawn(SourceID, func(p *Proc) {
+		if err := p.MoveTo(geom.Pt(3, 4)); err != nil {
+			t.Errorf("MoveTo: %v", err)
+		}
+		arrive = p.Now()
+	})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(arrive-5) > 1e-9 {
+		t.Errorf("arrival time = %v, want 5 (unit speed)", arrive)
+	}
+	if math.Abs(res.EnergyByRobot[0]-5) > 1e-9 {
+		t.Errorf("energy = %v, want 5", res.EnergyByRobot[0])
+	}
+	if math.Abs(res.Duration-5) > 1e-9 {
+		t.Errorf("duration = %v, want 5", res.Duration)
+	}
+}
+
+func TestLookRadiusOne(t *testing.T) {
+	sleepers := []geom.Point{geom.Pt(0.5, 0), geom.Pt(1, 0), geom.Pt(1.5, 0)}
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: sleepers})
+	var snap Snapshot
+	e.Spawn(SourceID, func(p *Proc) { snap = p.Look() })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Asleep) != 2 {
+		t.Fatalf("saw %d sleeping robots, want 2 (radius-1 visibility)", len(snap.Asleep))
+	}
+	if snap.Asleep[0].ID != 1 || snap.Asleep[1].ID != 2 {
+		t.Errorf("sightings = %+v", snap.Asleep)
+	}
+	if len(snap.Awake) != 0 {
+		t.Errorf("awake sightings = %+v", snap.Awake)
+	}
+}
+
+func TestLookSeesAwake(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: []geom.Point{geom.Pt(0.5, 0)}})
+	var sawAwake int
+	e.Spawn(SourceID, func(p *Proc) {
+		if err := p.MoveTo(geom.Pt(0.5, 0)); err != nil {
+			t.Errorf("move: %v", err)
+		}
+		p.Wake(1, nil)
+		snap := p.Look()
+		sawAwake = len(snap.Awake)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sawAwake != 1 {
+		t.Errorf("awake sightings = %d, want 1", sawAwake)
+	}
+}
+
+func TestWakeRequiresColocation(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: []geom.Point{geom.Pt(2, 0)}})
+	e.Spawn(SourceID, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Wake at distance should panic")
+			}
+		}()
+		p.Wake(1, nil)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWakeSpawnsHandler(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: []geom.Point{geom.Pt(1, 0), geom.Pt(2, 0)}})
+	e.Spawn(SourceID, func(p *Proc) {
+		if err := p.MoveTo(geom.Pt(1, 0)); err != nil {
+			t.Errorf("move: %v", err)
+		}
+		p.Wake(1, func(q *Proc) {
+			if err := q.MoveTo(geom.Pt(2, 0)); err != nil {
+				t.Errorf("handler move: %v", err)
+			}
+			q.Wake(2, nil)
+		})
+	})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAwake {
+		t.Fatal("all robots should be awake")
+	}
+	if math.Abs(res.Makespan-2) > 1e-9 {
+		t.Errorf("makespan = %v, want 2 (chain 0→1→2)", res.Makespan)
+	}
+	if w := e.Robot(2).WakeTime(); math.Abs(w-2) > 1e-9 {
+		t.Errorf("robot 2 wake time = %v", w)
+	}
+}
+
+func TestBudgetHaltsRobot(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin, Budget: 3})
+	var gotErr error
+	e.Spawn(SourceID, func(p *Proc) {
+		gotErr = p.MoveTo(geom.Pt(10, 0))
+	})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var be *ErrBudget
+	if !errors.As(gotErr, &be) {
+		t.Fatalf("want *ErrBudget, got %v", gotErr)
+	}
+	if !e.Robot(0).Pos().Eq(geom.Pt(3, 0)) {
+		t.Errorf("halted position = %v, want (3,0)", e.Robot(0).Pos())
+	}
+	if len(res.Violations) != 1 {
+		t.Errorf("violations = %v", res.Violations)
+	}
+	if math.Abs(res.MaxEnergy-3) > 1e-9 {
+		t.Errorf("MaxEnergy = %v", res.MaxEnergy)
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin})
+	var t1, t2 float64
+	e.Spawn(SourceID, func(p *Proc) {
+		p.WaitUntil(7)
+		t1 = p.Now()
+		p.WaitUntil(3) // in the past: no-op
+		t2 = p.Now()
+		p.Wait(1.5)
+		if math.Abs(p.Now()-8.5) > 1e-9 {
+			t.Errorf("after Wait, now = %v", p.Now())
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if t1 != 7 || t2 != 7 {
+		t.Errorf("t1=%v t2=%v", t1, t2)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: []geom.Point{geom.Pt(1, 0)}})
+	var releaseA, releaseB float64
+	e.Spawn(SourceID, func(p *Proc) {
+		if err := p.MoveTo(geom.Pt(1, 0)); err != nil {
+			t.Errorf("move: %v", err)
+		}
+		p.Wake(1, func(q *Proc) {
+			q.Wait(5) // arrives at barrier at t=6
+			q.Barrier("meet", 2)
+			releaseB = q.Now()
+		})
+		p.Barrier("meet", 2) // arrives at t=1
+		releaseA = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(releaseA-6) > 1e-9 || math.Abs(releaseB-6) > 1e-9 {
+		t.Errorf("barrier releases at %v / %v, want 6 / 6", releaseA, releaseB)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin})
+	e.Spawn(SourceID, func(p *Proc) {
+		p.Barrier("never", 2)
+	})
+	_, err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestEscort(t *testing.T) {
+	sleepers := []geom.Point{geom.Pt(1, 0), geom.Pt(1, 0.5)}
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: sleepers})
+	e.Spawn(SourceID, func(p *Proc) {
+		if err := p.MoveTo(geom.Pt(1, 0)); err != nil {
+			t.Errorf("move: %v", err)
+		}
+		p.Wake(1, nil)
+		// Member 1 must be co-located before escorting: it already is (woken
+		// at its own position where the leader stands).
+		arrived, err := p.Escort([]int{1}, geom.Pt(4, 4))
+		if err != nil {
+			t.Errorf("escort: %v", err)
+		}
+		if len(arrived) != 1 || arrived[0] != 1 {
+			t.Errorf("arrived = %v", arrived)
+		}
+	})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Robot(1).Pos().Eq(geom.Pt(4, 4)) {
+		t.Errorf("member position = %v", e.Robot(1).Pos())
+	}
+	wantE := geom.Pt(1, 0).Dist(geom.Pt(4, 4))
+	if math.Abs(e.Robot(1).Energy()-wantE) > 1e-9 {
+		t.Errorf("member energy = %v, want %v", e.Robot(1).Energy(), wantE)
+	}
+	if res.AllAwake {
+		t.Error("robot 2 should still be asleep")
+	}
+}
+
+func TestEscortMemberBudget(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: []geom.Point{geom.Pt(0, 0)}, Budget: 5})
+	e.Spawn(SourceID, func(p *Proc) {
+		p.Wake(1, nil)
+		// Drain member 1's budget by escorting back and forth.
+		if _, err := p.Escort([]int{1}, geom.Pt(2, 0)); err != nil {
+			t.Errorf("escort 1: %v", err)
+		}
+		if _, err := p.Escort([]int{1}, geom.Pt(0, 0)); err != nil {
+			t.Errorf("escort 2: %v", err)
+		}
+		// Both have spent 4 of 5; a 2-unit move exhausts them. The leader
+		// errors, the member halts.
+		_, err := p.Escort([]int{1}, geom.Pt(2, 0))
+		var be *ErrBudget
+		if !errors.As(err, &be) {
+			t.Errorf("want budget error, got %v", err)
+		}
+	})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxEnergy > 5+1e-9 {
+		t.Errorf("MaxEnergy = %v exceeds budget", res.MaxEnergy)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		sleepers := []geom.Point{geom.Pt(1, 0), geom.Pt(0, 1), geom.Pt(-1, 0), geom.Pt(0, -1)}
+		e := NewEngine(Config{Source: geom.Origin, Sleepers: sleepers})
+		e.Spawn(SourceID, func(p *Proc) {
+			snap := p.Look()
+			for _, s := range snap.Asleep {
+				if err := p.MoveTo(s.Pos); err != nil {
+					t.Errorf("move: %v", err)
+				}
+				p.Wake(s.ID, func(q *Proc) {
+					if err := q.MoveTo(geom.Origin); err != nil {
+						t.Errorf("handler move: %v", err)
+					}
+				})
+			}
+		})
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := make([]float64, 0, 4)
+		for i := 1; i <= 4; i++ {
+			times = append(times, e.Robot(i).WakeTime())
+		}
+		times = append(times, res.Duration, res.TotalEnergy)
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic run: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestMakespanUnawakened(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: []geom.Point{geom.Pt(100, 0)}})
+	e.Spawn(SourceID, func(p *Proc) { p.Wait(1) })
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllAwake || res.Awakened != 0 {
+		t.Errorf("AllAwake=%v Awakened=%d", res.AllAwake, res.Awakened)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	var kinds []string
+	e := NewEngine(Config{
+		Source:   geom.Origin,
+		Sleepers: []geom.Point{geom.Pt(1, 0)},
+		Trace:    func(ev Event) { kinds = append(kinds, ev.Kind) },
+	})
+	e.Spawn(SourceID, func(p *Proc) {
+		p.Look()
+		if err := p.MoveTo(geom.Pt(1, 0)); err != nil {
+			t.Errorf("move: %v", err)
+		}
+		p.Wake(1, nil)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"spawn", "look", "move", "wake", "done"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestRunTwiceErrors(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin})
+	e.Spawn(SourceID, func(p *Proc) {})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("second Run should error")
+	}
+}
+
+func TestZeroDistanceMoveFree(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Pt(2, 2), Budget: 0.5})
+	e.Spawn(SourceID, func(p *Proc) {
+		if err := p.MoveTo(geom.Pt(2, 2)); err != nil {
+			t.Errorf("zero move: %v", err)
+		}
+		if p.Now() != 0 {
+			t.Errorf("zero move advanced time to %v", p.Now())
+		}
+	})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEnergy != 0 {
+		t.Errorf("TotalEnergy = %v", res.TotalEnergy)
+	}
+}
+
+func TestMovePath(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin})
+	e.Spawn(SourceID, func(p *Proc) {
+		err := p.MovePath([]geom.Point{geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)})
+		if err != nil {
+			t.Errorf("MovePath: %v", err)
+		}
+	})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalEnergy-3) > 1e-9 {
+		t.Errorf("path energy = %v, want 3", res.TotalEnergy)
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"freezetag/internal/geom"
+)
+
+func TestWaitGroupReleasesAtCompletion(t *testing.T) {
+	sleepers := []geom.Point{geom.Pt(1, 0), geom.Pt(2, 0)}
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: sleepers})
+	var releaseTime float64
+	e.Spawn(SourceID, func(p *Proc) {
+		wg := e.NewWaitGroup()
+		if err := p.MoveTo(geom.Pt(1, 0)); err != nil {
+			t.Errorf("move: %v", err)
+		}
+		wg.Add(1)
+		p.Wake(1, func(q *Proc) {
+			q.Wait(5) // finishes at t=6
+			wg.Done()
+		})
+		wg.Add(1)
+		if err := p.MoveTo(geom.Pt(2, 0)); err != nil {
+			t.Errorf("move: %v", err)
+		}
+		p.Wake(2, func(q *Proc) {
+			q.Wait(1) // finishes at t=3
+			wg.Done()
+		})
+		wg.Wait(p)
+		releaseTime = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(releaseTime-6) > 1e-9 {
+		t.Errorf("released at %v, want 6 (latest Done)", releaseTime)
+	}
+}
+
+func TestWaitGroupZeroCountImmediate(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin})
+	e.Spawn(SourceID, func(p *Proc) {
+		wg := e.NewWaitGroup()
+		wg.Wait(p) // returns immediately
+		if p.Now() != 0 {
+			t.Errorf("zero-count Wait advanced time to %v", p.Now())
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitGroupNeverDoneDeadlocks(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin})
+	e.Spawn(SourceID, func(p *Proc) {
+		wg := e.NewWaitGroup()
+		wg.Add(1)
+		wg.Wait(p)
+		t.Error("Wait returned without Done")
+	})
+	_, err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestWaitGroupPanicsOnNegative(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin})
+	wg := e.NewWaitGroup()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Done below zero should panic")
+		}
+	}()
+	wg.Done()
+}
+
+func TestWaitGroupPanicsOnBadAdd(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin})
+	wg := e.NewWaitGroup()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(0) should panic")
+		}
+	}()
+	wg.Add(0)
+}
+
+func TestWaitGroupPending(t *testing.T) {
+	e := NewEngine(Config{Source: geom.Origin})
+	wg := e.NewWaitGroup()
+	wg.Add(3)
+	if wg.Pending() != 3 {
+		t.Errorf("Pending = %d", wg.Pending())
+	}
+	wg.Done()
+	if wg.Pending() != 2 {
+		t.Errorf("Pending = %d", wg.Pending())
+	}
+}
+
+func TestWaitGroupMultipleWaiters(t *testing.T) {
+	sleepers := []geom.Point{geom.Pt(0, 0), geom.Pt(0, 0)}
+	e := NewEngine(Config{Source: geom.Origin, Sleepers: sleepers})
+	released := 0
+	e.Spawn(SourceID, func(p *Proc) {
+		wg := e.NewWaitGroup()
+		wg.Add(1)
+		p.Wake(1, func(q *Proc) {
+			q.Wait(2)
+			wg.Done()
+		})
+		p.Wake(2, func(q *Proc) {
+			wg.Wait(q)
+			released++
+		})
+		wg.Wait(p)
+		released++
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if released != 2 {
+		t.Errorf("released %d waiters, want 2", released)
+	}
+}

@@ -1,0 +1,204 @@
+// Package spatial provides a uniform grid hash over the plane supporting
+// near-constant-time radius queries. The simulator uses it to implement the
+// robots' radius-1 "look" primitive without scanning the whole swarm, and
+// the disk-graph builder uses it to enumerate δ-neighbors.
+package spatial
+
+import (
+	"math"
+
+	"freezetag/internal/geom"
+)
+
+// Grid indexes items identified by int IDs at points in the plane, bucketed
+// into square cells of a fixed size. Query cost is proportional to the number
+// of items in the cells overlapping the query disk.
+//
+// Grid is not safe for concurrent use; the simulator serializes all access.
+type Grid struct {
+	cell  float64
+	items map[int]geom.Point
+	cells map[[2]int]map[int]struct{}
+}
+
+// NewGrid builds an empty grid with the given cell size. The cell size should
+// be of the order of the most common query radius; it must be positive.
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("spatial: cell size must be positive")
+	}
+	return &Grid{
+		cell:  cellSize,
+		items: make(map[int]geom.Point),
+		cells: make(map[[2]int]map[int]struct{}),
+	}
+}
+
+// Len returns the number of indexed items.
+func (g *Grid) Len() int { return len(g.items) }
+
+// CellSize returns the configured cell size.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+func (g *Grid) key(p geom.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
+}
+
+// Insert adds or moves item id to point p.
+func (g *Grid) Insert(id int, p geom.Point) {
+	if old, ok := g.items[id]; ok {
+		g.removeFromCell(id, old)
+	}
+	g.items[id] = p
+	k := g.key(p)
+	c := g.cells[k]
+	if c == nil {
+		c = make(map[int]struct{})
+		g.cells[k] = c
+	}
+	c[id] = struct{}{}
+}
+
+// Remove deletes item id; unknown ids are a no-op.
+func (g *Grid) Remove(id int) {
+	p, ok := g.items[id]
+	if !ok {
+		return
+	}
+	g.removeFromCell(id, p)
+	delete(g.items, id)
+}
+
+func (g *Grid) removeFromCell(id int, p geom.Point) {
+	k := g.key(p)
+	if c := g.cells[k]; c != nil {
+		delete(c, id)
+		if len(c) == 0 {
+			delete(g.cells, k)
+		}
+	}
+}
+
+// At returns the indexed position of id and whether it exists.
+func (g *Grid) At(id int) (geom.Point, bool) {
+	p, ok := g.items[id]
+	return p, ok
+}
+
+// Within appends to dst the ids of all items within Euclidean distance r of
+// p (closed disk, geom.Eps slack) and returns the extended slice. Results
+// are in unspecified order.
+func (g *Grid) Within(dst []int, p geom.Point, r float64) []int {
+	if r < 0 {
+		return dst
+	}
+	minX := int(math.Floor((p.X - r) / g.cell))
+	maxX := int(math.Floor((p.X + r) / g.cell))
+	minY := int(math.Floor((p.Y - r) / g.cell))
+	maxY := int(math.Floor((p.Y + r) / g.cell))
+	r2 := (r + geom.Eps) * (r + geom.Eps)
+	for cx := minX; cx <= maxX; cx++ {
+		for cy := minY; cy <= maxY; cy++ {
+			for id := range g.cells[[2]int{cx, cy}] {
+				if g.items[id].Dist2(p) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// InRect appends to dst the ids of items inside rectangle r (closed, Eps
+// slack) and returns the extended slice.
+func (g *Grid) InRect(dst []int, r geom.Rect) []int {
+	minX := int(math.Floor(r.Min.X / g.cell))
+	maxX := int(math.Floor(r.Max.X / g.cell))
+	minY := int(math.Floor(r.Min.Y / g.cell))
+	maxY := int(math.Floor(r.Max.Y / g.cell))
+	for cx := minX; cx <= maxX; cx++ {
+		for cy := minY; cy <= maxY; cy++ {
+			for id := range g.cells[[2]int{cx, cy}] {
+				if r.Contains(g.items[id]) {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Nearest returns the id of the indexed item closest to p, excluding ids for
+// which skip returns true, along with its distance. ok is false when no
+// eligible item exists. skip may be nil.
+//
+// The search expands square rings of cells outward from p. Once a candidate
+// is found at distance d, the search only needs to continue until the ring
+// boundary exceeds d; the ring count is additionally capped by the extent of
+// populated cells, so the loop always terminates.
+func (g *Grid) Nearest(p geom.Point, skip func(id int) bool) (id int, dist float64, ok bool) {
+	if len(g.items) == 0 {
+		return 0, 0, false
+	}
+	ck := g.key(p)
+	maxRing := g.maxRingFrom(ck)
+	best := math.Inf(1)
+	bestID := 0
+	found := false
+	for ring := 0; ring <= maxRing; ring++ {
+		for cx := ck[0] - ring; cx <= ck[0]+ring; cx++ {
+			for cy := ck[1] - ring; cy <= ck[1]+ring; cy++ {
+				if ring > 0 && cx > ck[0]-ring && cx < ck[0]+ring &&
+					cy > ck[1]-ring && cy < ck[1]+ring {
+					continue // interior cells scanned in earlier rings
+				}
+				for id := range g.cells[[2]int{cx, cy}] {
+					if skip != nil && skip(id) {
+						continue
+					}
+					if d := g.items[id].Dist(p); d < best {
+						best, bestID, found = d, id, true
+					}
+				}
+			}
+		}
+		// Any item in ring k is at distance > (k-1)·cell, so once the current
+		// best is within ring·cell no farther ring can improve it.
+		if found && best <= float64(ring)*g.cell {
+			break
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return bestID, best, true
+}
+
+// maxRingFrom returns the largest Chebyshev cell-distance from origin cell ck
+// to any populated cell, the upper bound on useful ring expansion.
+func (g *Grid) maxRingFrom(ck [2]int) int {
+	maxRing := 0
+	for k := range g.cells {
+		dx, dy := k[0]-ck[0], k[1]-ck[1]
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx > maxRing {
+			maxRing = dx
+		}
+		if dy > maxRing {
+			maxRing = dy
+		}
+	}
+	return maxRing
+}
+
+// ForEach calls fn for every (id, point) pair in unspecified order.
+func (g *Grid) ForEach(fn func(id int, p geom.Point)) {
+	for id, p := range g.items {
+		fn(id, p)
+	}
+}

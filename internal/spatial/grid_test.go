@@ -1,0 +1,217 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"freezetag/internal/geom"
+)
+
+func TestInsertRemove(t *testing.T) {
+	g := NewGrid(1)
+	g.Insert(1, geom.Pt(0.5, 0.5))
+	g.Insert(2, geom.Pt(1.5, 0.5))
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	p, ok := g.At(1)
+	if !ok || !p.Eq(geom.Pt(0.5, 0.5)) {
+		t.Fatalf("At(1) = %v, %v", p, ok)
+	}
+	g.Remove(1)
+	if g.Len() != 1 {
+		t.Fatalf("Len after remove = %d", g.Len())
+	}
+	if _, ok := g.At(1); ok {
+		t.Fatal("removed item still present")
+	}
+	g.Remove(99) // no-op
+}
+
+func TestInsertMoves(t *testing.T) {
+	g := NewGrid(1)
+	g.Insert(1, geom.Pt(0, 0))
+	g.Insert(1, geom.Pt(10, 10))
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	ids := g.Within(nil, geom.Pt(10, 10), 0.1)
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("Within after move = %v", ids)
+	}
+	if got := g.Within(nil, geom.Pt(0, 0), 0.1); len(got) != 0 {
+		t.Fatalf("stale position still indexed: %v", got)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	g := NewGrid(1)
+	g.Insert(1, geom.Pt(0, 0))
+	g.Insert(2, geom.Pt(1, 0))   // exactly on radius
+	g.Insert(3, geom.Pt(1.5, 0)) // outside
+	g.Insert(4, geom.Pt(0, -0.5))
+	ids := g.Within(nil, geom.Pt(0, 0), 1)
+	sort.Ints(ids)
+	want := []int{1, 2, 4}
+	if len(ids) != len(want) {
+		t.Fatalf("Within = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Within = %v, want %v", ids, want)
+		}
+	}
+	if got := g.Within(nil, geom.Pt(0, 0), -1); len(got) != 0 {
+		t.Fatalf("negative radius should return nothing, got %v", got)
+	}
+}
+
+func TestInRect(t *testing.T) {
+	g := NewGrid(2)
+	g.Insert(1, geom.Pt(0, 0))
+	g.Insert(2, geom.Pt(3, 3))
+	g.Insert(3, geom.Pt(5, 5))
+	ids := g.InRect(nil, geom.NewRect(geom.Pt(-1, -1), geom.Pt(4, 4)))
+	sort.Ints(ids)
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("InRect = %v", ids)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	g := NewGrid(1)
+	if _, _, ok := g.Nearest(geom.Pt(0, 0), nil); ok {
+		t.Fatal("Nearest on empty grid should report !ok")
+	}
+	g.Insert(1, geom.Pt(10, 0))
+	g.Insert(2, geom.Pt(3, 4))
+	g.Insert(3, geom.Pt(-1, -1))
+	id, d, ok := g.Nearest(geom.Pt(0, 0), nil)
+	if !ok || id != 3 || math.Abs(d-math.Sqrt2) > 1e-9 {
+		t.Fatalf("Nearest = %d, %v, %v", id, d, ok)
+	}
+	// Skip the closest: should find the next.
+	id, d, ok = g.Nearest(geom.Pt(0, 0), func(i int) bool { return i == 3 })
+	if !ok || id != 2 || math.Abs(d-5) > 1e-9 {
+		t.Fatalf("Nearest with skip = %d, %v, %v", id, d, ok)
+	}
+	// Skip everything.
+	if _, _, ok := g.Nearest(geom.Pt(0, 0), func(int) bool { return true }); ok {
+		t.Fatal("Nearest skipping all should report !ok")
+	}
+}
+
+func TestNearestFarQuery(t *testing.T) {
+	// Query point far outside the populated region: ring expansion must still
+	// reach the items.
+	g := NewGrid(1)
+	g.Insert(7, geom.Pt(100, 100))
+	id, d, ok := g.Nearest(geom.Pt(0, 0), nil)
+	if !ok || id != 7 || math.Abs(d-100*math.Sqrt2) > 1e-6 {
+		t.Fatalf("Nearest far = %d %v %v", id, d, ok)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	g := NewGrid(1)
+	g.Insert(1, geom.Pt(0, 0))
+	g.Insert(2, geom.Pt(5, 5))
+	seen := map[int]geom.Point{}
+	g.ForEach(func(id int, p geom.Point) { seen[id] = p })
+	if len(seen) != 2 || !seen[2].Eq(geom.Pt(5, 5)) {
+		t.Fatalf("ForEach = %v", seen)
+	}
+}
+
+func TestNewGridPanicsOnBadCell(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGrid(0) should panic")
+		}
+	}()
+	NewGrid(0)
+}
+
+// Property: Within agrees with a brute-force scan on random configurations.
+func TestWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		g := NewGrid(0.5 + rng.Float64()*3)
+		pts := make(map[int]geom.Point)
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			p := geom.Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+			pts[i] = p
+			g.Insert(i, p)
+		}
+		q := geom.Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+		r := rng.Float64() * 10
+		got := g.Within(nil, q, r)
+		sort.Ints(got)
+		var want []int
+		for id, p := range pts {
+			if p.Dist(q) <= r+geom.Eps {
+				want = append(want, id)
+			}
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Within = %v, brute = %v", trial, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: Within = %v, brute = %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// Property: Nearest agrees with brute force.
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		g := NewGrid(1)
+		n := 1 + rng.Intn(40)
+		pts := make(map[int]geom.Point, n)
+		for i := 0; i < n; i++ {
+			p := geom.Pt(rng.Float64()*60-30, rng.Float64()*60-30)
+			pts[i] = p
+			g.Insert(i, p)
+		}
+		q := geom.Pt(rng.Float64()*60-30, rng.Float64()*60-30)
+		_, gotD, ok := g.Nearest(q, nil)
+		if !ok {
+			t.Fatalf("trial %d: Nearest !ok with %d items", trial, n)
+		}
+		best := math.Inf(1)
+		for _, p := range pts {
+			if d := p.Dist(q); d < best {
+				best = d
+			}
+		}
+		if math.Abs(gotD-best) > 1e-9 {
+			t.Fatalf("trial %d: Nearest dist = %v, brute = %v", trial, gotD, best)
+		}
+	}
+}
+
+// Property (quick): inserting then querying with radius 0 finds the item.
+func TestInsertFindSelf(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return true
+		}
+		x, y = math.Mod(x, 1e4), math.Mod(y, 1e4)
+		g := NewGrid(1)
+		g.Insert(1, geom.Pt(x, y))
+		ids := g.Within(nil, geom.Pt(x, y), 0)
+		return len(ids) == 1 && ids[0] == 1
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

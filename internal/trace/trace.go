@@ -1,0 +1,79 @@
+// Package trace records simulation event streams and exports them as CSV
+// for offline inspection and for regenerating the paper's schematic figures
+// (robot trajectories, wake fronts, phase boundaries).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"freezetag/internal/sim"
+)
+
+// Recorder accumulates simulation events. Attach Record as the engine's
+// Config.Trace callback.
+type Recorder struct {
+	events []sim.Event
+}
+
+// New returns an empty Recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends one event; pass this method to sim.Config.Trace.
+func (r *Recorder) Record(ev sim.Event) { r.events = append(r.events, ev) }
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []sim.Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// CountKind returns how many events of the given kind were recorded.
+func (r *Recorder) CountKind(kind string) int {
+	n := 0
+	for _, ev := range r.events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// WakeFront returns (time, cumulative-awake-count) pairs: the wake-up curve
+// of the run, the quantitative content of the paper's wave figures.
+func (r *Recorder) WakeFront() (times []float64, counts []int) {
+	n := 0
+	for _, ev := range r.events {
+		if ev.Kind == "wake" {
+			n++
+			times = append(times, ev.T)
+			counts = append(counts, n)
+		}
+	}
+	return times, counts
+}
+
+// WriteCSV emits all events as CSV (t, robot, kind, x, y, extra).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "robot", "kind", "x", "y", "extra"}); err != nil {
+		return fmt.Errorf("trace: header: %w", err)
+	}
+	for _, ev := range r.events {
+		rec := []string{
+			strconv.FormatFloat(ev.T, 'g', 10, 64),
+			strconv.Itoa(ev.Robot),
+			ev.Kind,
+			strconv.FormatFloat(ev.Pos.X, 'g', 10, 64),
+			strconv.FormatFloat(ev.Pos.Y, 'g', 10, 64),
+			ev.Extra,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

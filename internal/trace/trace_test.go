@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"freezetag/internal/geom"
+	"freezetag/internal/sim"
+)
+
+func record(t *testing.T) *Recorder {
+	t.Helper()
+	r := New()
+	e := sim.NewEngine(sim.Config{
+		Source:   geom.Origin,
+		Sleepers: []geom.Point{geom.Pt(1, 0), geom.Pt(2, 0)},
+		Trace:    r.Record,
+	})
+	e.Spawn(sim.SourceID, func(p *sim.Proc) {
+		p.Look()
+		if err := p.MoveTo(geom.Pt(1, 0)); err != nil {
+			t.Errorf("move: %v", err)
+		}
+		p.Wake(1, func(q *sim.Proc) {
+			if err := q.MoveTo(geom.Pt(2, 0)); err != nil {
+				t.Errorf("move: %v", err)
+			}
+			q.Wake(2, nil)
+		})
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRecorderCounts(t *testing.T) {
+	r := record(t)
+	if r.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if got := r.CountKind("wake"); got != 2 {
+		t.Errorf("wake events = %d, want 2", got)
+	}
+	if got := r.CountKind("look"); got != 1 {
+		t.Errorf("look events = %d, want 1", got)
+	}
+}
+
+func TestWakeFront(t *testing.T) {
+	r := record(t)
+	times, counts := r.WakeFront()
+	if len(times) != 2 || len(counts) != 2 {
+		t.Fatalf("front = %v %v", times, counts)
+	}
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+	if times[0] >= times[1] {
+		t.Errorf("times not increasing: %v", times)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := record(t)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "t,robot,kind,x,y,extra\n") {
+		t.Errorf("header missing: %q", out[:40])
+	}
+	if !strings.Contains(out, "wake") {
+		t.Error("wake rows missing")
+	}
+	if lines := strings.Count(out, "\n"); lines != r.Len()+1 {
+		t.Errorf("csv lines = %d, want %d", lines, r.Len()+1)
+	}
+}

@@ -1,0 +1,183 @@
+// Package viz renders instances and wake-up progressions as ASCII pictures
+// for terminals — the repository's stand-in for the paper's figures. It
+// draws point sets on a character grid (source, sleeping and awake robots)
+// and can replay a recorded trace as a sequence of wake-front frames.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"freezetag/internal/geom"
+	"freezetag/internal/sim"
+)
+
+// Glyphs used by the renderer.
+const (
+	GlyphSource = 'S'
+	GlyphAsleep = '.'
+	GlyphAwake  = 'o'
+	GlyphMulti  = '*' // several robots in one cell
+	GlyphEmpty  = ' '
+)
+
+// Canvas is a fixed-size character grid mapped onto a world rectangle.
+type Canvas struct {
+	cols, rows int
+	world      geom.Rect
+	cells      [][]rune
+}
+
+// NewCanvas builds a canvas of the given character dimensions covering the
+// world rectangle (expanded slightly so border points stay inside).
+func NewCanvas(cols, rows int, world geom.Rect) *Canvas {
+	if cols < 2 || rows < 2 {
+		panic("viz: canvas must be at least 2x2")
+	}
+	pad := math.Max(world.Width(), world.Height()) * 0.02
+	if pad == 0 {
+		pad = 1
+	}
+	w := geom.NewRect(
+		geom.Pt(world.Min.X-pad, world.Min.Y-pad),
+		geom.Pt(world.Max.X+pad, world.Max.Y+pad),
+	)
+	cells := make([][]rune, rows)
+	for r := range cells {
+		cells[r] = make([]rune, cols)
+		for c := range cells[r] {
+			cells[r][c] = GlyphEmpty
+		}
+	}
+	return &Canvas{cols: cols, rows: rows, world: w, cells: cells}
+}
+
+// cell maps a world point to grid coordinates.
+func (cv *Canvas) cell(p geom.Point) (col, row int, ok bool) {
+	if !cv.world.Contains(p) {
+		return 0, 0, false
+	}
+	fx := (p.X - cv.world.Min.X) / cv.world.Width()
+	fy := (p.Y - cv.world.Min.Y) / cv.world.Height()
+	col = int(fx * float64(cv.cols-1))
+	row = cv.rows - 1 - int(fy*float64(cv.rows-1)) // y grows upward
+	return col, row, true
+}
+
+// Plot draws glyph at world point p; overlapping distinct glyphs become
+// GlyphMulti (the source glyph always wins).
+func (cv *Canvas) Plot(p geom.Point, glyph rune) {
+	col, row, ok := cv.cell(p)
+	if !ok {
+		return
+	}
+	cur := cv.cells[row][col]
+	switch {
+	case cur == GlyphEmpty || cur == glyph:
+		cv.cells[row][col] = glyph
+	case cur == GlyphSource || glyph == GlyphSource:
+		cv.cells[row][col] = GlyphSource
+	default:
+		cv.cells[row][col] = GlyphMulti
+	}
+}
+
+// String renders the canvas with a border.
+func (cv *Canvas) String() string {
+	var b strings.Builder
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", cv.cols))
+	b.WriteString("+\n")
+	for _, row := range cv.cells {
+		b.WriteByte('|')
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", cv.cols))
+	b.WriteString("+\n")
+	return b.String()
+}
+
+// Swarm renders a snapshot of an instance: the source, sleeping robots, and
+// optionally a set of awake robot positions.
+func Swarm(cols, rows int, source geom.Point, asleep, awake []geom.Point) string {
+	pts := make([]geom.Point, 0, len(asleep)+len(awake)+1)
+	pts = append(pts, source)
+	pts = append(pts, asleep...)
+	pts = append(pts, awake...)
+	cv := NewCanvas(cols, rows, geom.BoundingRect(pts))
+	for _, p := range asleep {
+		cv.Plot(p, GlyphAsleep)
+	}
+	for _, p := range awake {
+		cv.Plot(p, GlyphAwake)
+	}
+	cv.Plot(source, GlyphSource)
+	return cv.String()
+}
+
+// Frame is one step of a wake-front replay.
+type Frame struct {
+	T      float64
+	Awake  int
+	Canvas string
+}
+
+// Replay renders `frames` equally spaced snapshots of a recorded run: at
+// each snapshot time, robots woken by then are drawn awake. Events must be
+// the engine's trace (only "wake" events are consulted); initial positions
+// come from the instance.
+func Replay(cols, rows int, source geom.Point, sleepers []geom.Point,
+	events []sim.Event, frames int) []Frame {
+	if frames < 1 {
+		frames = 1
+	}
+	type wakeEv struct {
+		t  float64
+		id int
+	}
+	var wakes []wakeEv
+	var tMax float64
+	for _, ev := range events {
+		if ev.T > tMax {
+			tMax = ev.T
+		}
+		if ev.Kind == "wake" {
+			wakes = append(wakes, wakeEv{t: ev.T, id: ev.Robot})
+		}
+	}
+	sort.Slice(wakes, func(i, j int) bool { return wakes[i].t < wakes[j].t })
+	out := make([]Frame, 0, frames)
+	for f := 1; f <= frames; f++ {
+		limit := tMax * float64(f) / float64(frames)
+		var asleep, awake []geom.Point
+		woken := map[int]bool{}
+		for _, w := range wakes {
+			if w.t <= limit+geom.Eps {
+				woken[w.id] = true
+			}
+		}
+		for i, p := range sleepers {
+			if woken[i+1] {
+				awake = append(awake, p)
+			} else {
+				asleep = append(asleep, p)
+			}
+		}
+		out = append(out, Frame{
+			T:      limit,
+			Awake:  len(awake),
+			Canvas: Swarm(cols, rows, source, asleep, awake),
+		})
+	}
+	return out
+}
+
+// Legend returns the glyph legend line.
+func Legend() string {
+	return fmt.Sprintf("legend: %c source  %c asleep  %c awake  %c several",
+		GlyphSource, GlyphAsleep, GlyphAwake, GlyphMulti)
+}

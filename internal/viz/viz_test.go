@@ -1,0 +1,110 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"freezetag/internal/geom"
+	"freezetag/internal/sim"
+)
+
+func TestCanvasBasics(t *testing.T) {
+	cv := NewCanvas(20, 10, geom.RectWH(geom.Origin, 10, 10))
+	cv.Plot(geom.Pt(5, 5), GlyphAsleep)
+	out := cv.String()
+	if !strings.Contains(out, string(GlyphAsleep)) {
+		t.Errorf("plotted glyph missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 12 { // 10 rows + 2 borders
+		t.Errorf("line count = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len([]rune(l)) != 22 {
+			t.Errorf("row width = %d, want 22: %q", len([]rune(l)), l)
+		}
+	}
+}
+
+func TestPlotOverlap(t *testing.T) {
+	cv := NewCanvas(10, 10, geom.RectWH(geom.Origin, 10, 10))
+	p := geom.Pt(5, 5)
+	cv.Plot(p, GlyphAsleep)
+	cv.Plot(p, GlyphAwake)
+	if !strings.Contains(cv.String(), string(GlyphMulti)) {
+		t.Error("overlapping distinct glyphs should render as multi")
+	}
+	// Source wins.
+	cv2 := NewCanvas(10, 10, geom.RectWH(geom.Origin, 10, 10))
+	cv2.Plot(p, GlyphAsleep)
+	cv2.Plot(p, GlyphSource)
+	if !strings.Contains(cv2.String(), string(GlyphSource)) {
+		t.Error("source glyph should win overlaps")
+	}
+}
+
+func TestPlotOutsideIgnored(t *testing.T) {
+	cv := NewCanvas(10, 10, geom.RectWH(geom.Origin, 10, 10))
+	cv.Plot(geom.Pt(100, 100), GlyphAwake)
+	if strings.Contains(cv.String(), string(GlyphAwake)) {
+		t.Error("out-of-world point should be ignored")
+	}
+}
+
+func TestSwarm(t *testing.T) {
+	out := Swarm(30, 12, geom.Origin,
+		[]geom.Point{geom.Pt(3, 1), geom.Pt(5, 2)},
+		[]geom.Point{geom.Pt(1, 1)})
+	for _, g := range []rune{GlyphSource, GlyphAsleep, GlyphAwake} {
+		if !strings.Contains(out, string(g)) {
+			t.Errorf("missing glyph %c:\n%s", g, out)
+		}
+	}
+}
+
+func TestReplayFrames(t *testing.T) {
+	sleepers := []geom.Point{geom.Pt(2, 0), geom.Pt(4, 0)}
+	events := []sim.Event{
+		{T: 2, Robot: 1, Kind: "wake", Pos: sleepers[0]},
+		{T: 4, Robot: 2, Kind: "wake", Pos: sleepers[1]},
+		{T: 5, Robot: 2, Kind: "done"},
+	}
+	frames := Replay(20, 8, geom.Origin, sleepers, events, 5)
+	if len(frames) != 5 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	if frames[0].Awake != 0 {
+		t.Errorf("frame 0 awake = %d (t=%v)", frames[0].Awake, frames[0].T)
+	}
+	if frames[4].Awake != 2 {
+		t.Errorf("final frame awake = %d", frames[4].Awake)
+	}
+	// Awake counts are monotone.
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Awake < frames[i-1].Awake {
+			t.Errorf("awake count decreased at frame %d", i)
+		}
+	}
+}
+
+func TestReplayDegenerate(t *testing.T) {
+	frames := Replay(10, 5, geom.Origin, nil, nil, 0)
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want clamped 1", len(frames))
+	}
+}
+
+func TestLegend(t *testing.T) {
+	if !strings.Contains(Legend(), "source") {
+		t.Error("legend missing source")
+	}
+}
+
+func TestCanvasPanicsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1x1 canvas should panic")
+		}
+	}()
+	NewCanvas(1, 1, geom.RectWH(geom.Origin, 1, 1))
+}

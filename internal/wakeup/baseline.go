@@ -1,0 +1,62 @@
+package wakeup
+
+import (
+	"math"
+
+	"freezetag/internal/geom"
+)
+
+// ChainMakespan is the no-delegation baseline: a single robot wakes every
+// target itself, visiting them greedily nearest-first, and woken robots do
+// not help. This is the strategy a naive solution uses; wake-up trees beat
+// it by the workforce-doubling of Algorithm 1. Returns 0 for no targets.
+func ChainMakespan(start geom.Point, targets []Target) float64 {
+	remaining := append([]Target(nil), targets...)
+	cur := start
+	var total float64
+	for len(remaining) > 0 {
+		best := 0
+		bd := math.Inf(1)
+		for i, t := range remaining {
+			if d := cur.Dist(t.Pos); d < bd {
+				best, bd = i, d
+			}
+		}
+		total += bd
+		cur = remaining[best].Pos
+		remaining[best] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+	}
+	return total
+}
+
+// ChainTree builds the degenerate wake-up tree realizing the chain strategy
+// (every node has exactly one child, in greedy nearest-first order), so the
+// baseline can also be executed on the simulator via Propagate. Note that
+// under Algorithm 1's semantics the woken robot carries the chain on — the
+// timing is identical to a single robot doing all the work.
+func ChainTree(start geom.Point, targets []Target) *Node {
+	remaining := append([]Target(nil), targets...)
+	cur := start
+	var root, tail *Node
+	for len(remaining) > 0 {
+		best := 0
+		bd := math.Inf(1)
+		for i, t := range remaining {
+			if d := cur.Dist(t.Pos); d < bd {
+				best, bd = i, d
+			}
+		}
+		node := &Node{ID: remaining[best].ID, Pos: remaining[best].Pos}
+		if tail == nil {
+			root = node
+		} else {
+			tail.Children = []*Node{node}
+		}
+		tail = node
+		cur = node.Pos
+		remaining[best] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+	}
+	return root
+}

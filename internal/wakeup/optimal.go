@@ -1,0 +1,104 @@
+package wakeup
+
+import (
+	"math"
+
+	"freezetag/internal/geom"
+)
+
+// OptimalMakespan computes the exact optimal wake-up-tree makespan for a
+// robot at start waking all targets, by dynamic programming over
+// (owner position, remaining-target bitmask):
+//
+//	T(o, S)  = min over x ∈ S of d(o, x) + U(x, S \ {x})
+//	U(x, S′) = min over partitions S′ = A ⊎ B of max(T(x, A), T(x, B))
+//
+// which is exactly the semantics of Algorithm 1 (after waking x, the waker
+// and x split the remaining work, both starting at x's position). The DP is
+// O(3ⁿ·n); practical for n ≤ about 14. It panics above MaxOptimalTargets —
+// exact FTP is NP-hard and the exponential blow-up is a programming error,
+// not a runtime condition.
+func OptimalMakespan(start geom.Point, targets []Target) float64 {
+	n := len(targets)
+	if n == 0 {
+		return 0
+	}
+	if n > MaxOptimalTargets {
+		panic("wakeup: OptimalMakespan target count above MaxOptimalTargets")
+	}
+	pts := make([]geom.Point, n+1)
+	pts[0] = start
+	for i, t := range targets {
+		pts[i+1] = t.Pos
+	}
+	// dist[i][j] between owner positions (0 = start, i = target i-1).
+	dist := make([][]float64, n+1)
+	for i := range dist {
+		dist[i] = make([]float64, n+1)
+		for j := range dist[i] {
+			dist[i][j] = pts[i].Dist(pts[j])
+		}
+	}
+	full := (1 << n) - 1
+	// tMemo[(owner)<<n | mask] = T(owner, mask); owner ∈ [0, n].
+	tMemo := make([]float64, (n+1)<<n)
+	uMemo := make([]float64, (n+1)<<n)
+	for i := range tMemo {
+		tMemo[i] = -1
+		uMemo[i] = -1
+	}
+	var tFn func(owner, mask int) float64
+	var uFn func(owner, mask int) float64
+	tFn = func(owner, mask int) float64 {
+		if mask == 0 {
+			return 0
+		}
+		key := owner<<n | mask
+		if tMemo[key] >= 0 {
+			return tMemo[key]
+		}
+		best := math.Inf(1)
+		for x := 0; x < n; x++ {
+			bit := 1 << x
+			if mask&bit == 0 {
+				continue
+			}
+			if v := dist[owner][x+1] + uFn(x+1, mask&^bit); v < best {
+				best = v
+			}
+		}
+		tMemo[key] = best
+		return best
+	}
+	uFn = func(owner, mask int) float64 {
+		if mask == 0 {
+			return 0
+		}
+		key := owner<<n | mask
+		if uMemo[key] >= 0 {
+			return uMemo[key]
+		}
+		best := tFn(owner, mask) // trivial partition: one side empty
+		// Enumerate submasks A of mask; by symmetry only visit A ≤ B.
+		for a := (mask - 1) & mask; a > 0; a = (a - 1) & mask {
+			b := mask &^ a
+			if a > b {
+				continue
+			}
+			ta := tFn(owner, a)
+			if ta >= best {
+				continue // max(ta, tb) ≥ ta ≥ best: prune
+			}
+			tb := tFn(owner, b)
+			if m := math.Max(ta, tb); m < best {
+				best = m
+			}
+		}
+		uMemo[key] = best
+		return best
+	}
+	return tFn(0, full)
+}
+
+// MaxOptimalTargets bounds OptimalMakespan's exponential DP.
+const MaxOptimalTargets = 14

@@ -1,0 +1,47 @@
+package wakeup
+
+import "freezetag/internal/sim"
+
+// Propagate realizes a wake-up tree on the simulator, implementing the
+// paper's Algorithm 1 ("Propagate Wake-Up Tree"). The calling process moves
+// to the root, wakes it, and the tree is split between waker and woken at
+// every step: the woken robot takes Children[0], the waker continues with
+// Children[1]. Each woken robot runs cont (may be nil) once its share of the
+// propagation is complete — this is how AGrid/AWave attach round
+// participation to freshly awakened robots.
+//
+// Propagate returns when the caller's own share is done; other branches
+// continue in their own processes. Robots in the tree must still be asleep
+// when reached — the paper's conflict-freedom precondition (Lemma 2), which
+// the callers establish by operating in exclusive regions.
+func Propagate(p *sim.Proc, root *Node, cont func(*sim.Proc)) error {
+	node := root
+	for node != nil {
+		if err := p.MoveTo(node.Pos); err != nil {
+			return err
+		}
+		var woken, kept *Node
+		switch len(node.Children) {
+		case 0:
+			// Leaf: woken robot only runs its continuation.
+		case 1:
+			// Unique child: the woken robot takes it, the waker stops.
+			woken = node.Children[0]
+		default:
+			woken, kept = node.Children[0], node.Children[1]
+		}
+		sub := woken // capture for the handler closure
+		p.Wake(node.ID, func(q *sim.Proc) {
+			if sub != nil {
+				// Budget exhaustion surfaces via engine violations; the
+				// branch simply stops where it halted.
+				_ = Propagate(q, sub, cont)
+			}
+			if cont != nil {
+				cont(q)
+			}
+		})
+		node = kept
+	}
+	return nil
+}

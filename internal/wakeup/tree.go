@@ -1,0 +1,187 @@
+// Package wakeup implements centralized wake-up trees and their distributed
+// realization.
+//
+// A wake-up tree (the paper's §1.1) is a rooted tree over robot positions in
+// which every node has at most two children; a robot that wakes node x hands
+// x one subtree and keeps the other (Algorithm 1), so the set of awake robots
+// doubles its workforce along the way. BuildTree constructs a tree whose
+// makespan is O(diam) via recursive longest-side bisection: waking the point
+// nearest to the current position costs at most the current region's
+// diameter, and each two levels of bisection halve the region diameter, so
+// the total is a geometric series ≈ 2(√2+√1.25)/(1-1/2) · R ≈ 10.1·R for a
+// width-R square — the same O(1)-approximation regime as [YBMK15, BCGH24]
+// (their constants are tighter; only O(R) matters downstream).
+package wakeup
+
+import (
+	"math"
+
+	"freezetag/internal/geom"
+)
+
+// Node is one robot in a wake-up tree. Children has length ≤ 2; Children[0]
+// is the subtree the newly woken robot takes over, Children[1] the subtree
+// the waker keeps (Algorithm 1's child1/child2).
+type Node struct {
+	ID       int
+	Pos      geom.Point
+	Children []*Node
+}
+
+// Target pairs a sleeping robot's id with its (initial) position.
+type Target struct {
+	ID  int
+	Pos geom.Point
+}
+
+// BuildTree builds a wake-up tree over targets for a robot starting at
+// start. It returns nil for an empty target set. The tree's makespan from
+// start is O(diam(targets ∪ {start})): see the package comment.
+func BuildTree(start geom.Point, targets []Target) *Node {
+	if len(targets) == 0 {
+		return nil
+	}
+	pts := make([]geom.Point, 0, len(targets)+1)
+	pts = append(pts, start)
+	for _, t := range targets {
+		pts = append(pts, t.Pos)
+	}
+	region := geom.BoundingRect(pts)
+	ts := append([]Target(nil), targets...)
+	return build(ts, region, start)
+}
+
+// build constructs the subtree for the targets inside region, to be woken by
+// a robot currently at from. It owns (and may reorder) ts.
+func build(ts []Target, region geom.Rect, from geom.Point) *Node {
+	if len(ts) == 0 {
+		return nil
+	}
+	// Wake the target nearest to the current position: cost ≤ diam(region).
+	nearest := 0
+	bd := math.Inf(1)
+	for i, t := range ts {
+		if d := from.Dist(t.Pos); d < bd ||
+			(d == bd && (t.ID < ts[nearest].ID)) {
+			nearest, bd = i, d
+		}
+	}
+	ts[0], ts[nearest] = ts[nearest], ts[0]
+	node := &Node{ID: ts[0].ID, Pos: ts[0].Pos}
+	rest := ts[1:]
+	if len(rest) == 0 {
+		return node
+	}
+	// Degenerate region: all positions (numerically) coincide, so geometric
+	// bisection cannot separate them. Chain the remaining targets; every
+	// edge has length ≈ 0 so the makespan is unaffected.
+	if region.Diam() <= 4*geom.Eps {
+		child := build(rest, region, node.Pos)
+		if child != nil {
+			node.Children = append(node.Children, child)
+		}
+		return node
+	}
+	r1, r2 := region.SplitLongestSide()
+	var in1, in2 []Target
+	for _, t := range rest {
+		if r1.ContainsStrict(t.Pos) || (!r2.ContainsStrict(t.Pos) && r1.Contains(t.Pos)) {
+			in1 = append(in1, t)
+		} else {
+			in2 = append(in2, t)
+		}
+	}
+	c1 := build(in1, r1, node.Pos)
+	c2 := build(in2, r2, node.Pos)
+	// Children[0] goes to the woken robot, Children[1] stays with the waker.
+	if c1 != nil {
+		node.Children = append(node.Children, c1)
+	}
+	if c2 != nil {
+		node.Children = append(node.Children, c2)
+	}
+	return node
+}
+
+// Makespan returns the time to wake the whole tree when the waking robot
+// starts at start and every robot moves at unit speed: the node's wake time
+// is the arrival time of its waker, and after a wake both robots proceed in
+// parallel per Algorithm 1.
+func Makespan(start geom.Point, root *Node) float64 {
+	if root == nil {
+		return 0
+	}
+	arrive := start.Dist(root.Pos)
+	var sub float64
+	switch len(root.Children) {
+	case 0:
+	case 1:
+		sub = Makespan(root.Pos, root.Children[0])
+	default:
+		sub = math.Max(
+			Makespan(root.Pos, root.Children[0]),
+			Makespan(root.Pos, root.Children[1]),
+		)
+	}
+	return arrive + sub
+}
+
+// Size returns the number of nodes in the tree.
+func Size(root *Node) int {
+	if root == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range root.Children {
+		n += Size(c)
+	}
+	return n
+}
+
+// Valid reports whether the tree is structurally a wake-up tree over exactly
+// the given target ids: binary, and covering each id exactly once.
+func Valid(root *Node, ids []int) bool {
+	seen := make(map[int]bool, len(ids))
+	if !walk(root, seen) {
+		return false
+	}
+	if len(seen) != len(ids) {
+		return false
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func walk(n *Node, seen map[int]bool) bool {
+	if n == nil {
+		return true
+	}
+	if len(n.Children) > 2 || seen[n.ID] {
+		return false
+	}
+	seen[n.ID] = true
+	for _, c := range n.Children {
+		if !walk(c, seen) {
+			return false
+		}
+	}
+	return true
+}
+
+// Depth returns the maximum number of edges on a root-to-leaf path.
+func Depth(root *Node) int {
+	if root == nil {
+		return -1
+	}
+	d := 0
+	for _, c := range root.Children {
+		if cd := Depth(c) + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
