@@ -14,6 +14,7 @@ package freezetag_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"freezetag/internal/dftp"
@@ -27,6 +28,11 @@ import (
 	"freezetag/internal/spatial"
 	"freezetag/internal/wakeup"
 )
+
+// benchRunner is the shared pool for the experiment benchmarks: GOMAXPROCS
+// workers, so BenchmarkTable1_* report the parallel-engine wall-clock on
+// multi-core machines. Tables are bit-identical at any worker count.
+var benchRunner = experiments.NewRunner()
 
 // benchExperiment runs one experiment generator per iteration and fails the
 // benchmark on any error.
@@ -45,33 +51,57 @@ func benchExperiment(b *testing.B, fn func(experiments.Scale) (*report.Table, er
 
 // --- Table 1 rows -------------------------------------------------------------
 
-func BenchmarkTable1_ASeparatorRho(b *testing.B)   { benchExperiment(b, experiments.E1RhoSweep) }
-func BenchmarkTable1_ASeparatorEll(b *testing.B)   { benchExperiment(b, experiments.E1EllSweep) }
-func BenchmarkTable1_EnergyThreshold(b *testing.B) { benchExperiment(b, experiments.E2EnergyThreshold) }
-func BenchmarkTable1_AGrid(b *testing.B)           { benchExperiment(b, experiments.E3AGrid) }
-func BenchmarkTable1_AWave(b *testing.B)           { benchExperiment(b, experiments.E4AWave) }
-func BenchmarkTable1_LowerBoundThm2(b *testing.B)  { benchExperiment(b, experiments.E5LowerBound) }
-func BenchmarkThm6_PathConstruction(b *testing.B)  { benchExperiment(b, experiments.E6Path) }
+func BenchmarkTable1_ASeparatorRho(b *testing.B)   { benchExperiment(b, benchRunner.E1RhoSweep) }
+func BenchmarkTable1_ASeparatorEll(b *testing.B)   { benchExperiment(b, benchRunner.E1EllSweep) }
+func BenchmarkTable1_EnergyThreshold(b *testing.B) { benchExperiment(b, benchRunner.E2EnergyThreshold) }
+func BenchmarkTable1_AGrid(b *testing.B)           { benchExperiment(b, benchRunner.E3AGrid) }
+func BenchmarkTable1_AWave(b *testing.B)           { benchExperiment(b, benchRunner.E4AWave) }
+func BenchmarkTable1_LowerBoundThm2(b *testing.B)  { benchExperiment(b, benchRunner.E5LowerBound) }
+func BenchmarkThm6_PathConstruction(b *testing.B)  { benchExperiment(b, benchRunner.E6Path) }
 
 // --- Figures ------------------------------------------------------------------
 
-func BenchmarkFig1_Phases(b *testing.B)       { benchExperiment(b, experiments.F1Phases) }
-func BenchmarkFig4_Explore(b *testing.B)      { benchExperiment(b, experiments.F4Explore) }
-func BenchmarkFig5_Construction(b *testing.B) { benchExperiment(b, experiments.F5Construction) }
+func BenchmarkFig1_Phases(b *testing.B)       { benchExperiment(b, benchRunner.F1Phases) }
+func BenchmarkFig4_Explore(b *testing.B)      { benchExperiment(b, benchRunner.F4Explore) }
+func BenchmarkFig5_Construction(b *testing.B) { benchExperiment(b, benchRunner.F5Construction) }
 
 // --- Lemmas -------------------------------------------------------------------
 
-func BenchmarkLem2_WakeTree(b *testing.B)   { benchExperiment(b, experiments.L2WakeTree) }
-func BenchmarkLem5_DFSampling(b *testing.B) { benchExperiment(b, experiments.L5DFSampling) }
+func BenchmarkLem2_WakeTree(b *testing.B)   { benchExperiment(b, benchRunner.L2WakeTree) }
+func BenchmarkLem5_DFSampling(b *testing.B) { benchExperiment(b, benchRunner.L5DFSampling) }
 
 // --- Ablations ------------------------------------------------------------------
 
-func BenchmarkAblation_TreeVsOptimal(b *testing.B) { benchExperiment(b, experiments.A1TreeQuality) }
-func BenchmarkAblation_RhoEstimation(b *testing.B) { benchExperiment(b, experiments.A2RhoEstimation) }
-func BenchmarkAblation_TeamGrowth(b *testing.B)    { benchExperiment(b, experiments.A3TeamGrowth) }
-func BenchmarkAblation_EllRobustness(b *testing.B) { benchExperiment(b, experiments.A4EllRobustness) }
-func BenchmarkAblation_ChainBaseline(b *testing.B) { benchExperiment(b, experiments.A5Baseline) }
-func BenchmarkCrossover_AGridVsAWave(b *testing.B) { benchExperiment(b, experiments.E7Crossover) }
+func BenchmarkAblation_TreeVsOptimal(b *testing.B) { benchExperiment(b, benchRunner.A1TreeQuality) }
+func BenchmarkAblation_RhoEstimation(b *testing.B) { benchExperiment(b, benchRunner.A2RhoEstimation) }
+func BenchmarkAblation_TeamGrowth(b *testing.B)    { benchExperiment(b, benchRunner.A3TeamGrowth) }
+func BenchmarkAblation_EllRobustness(b *testing.B) { benchExperiment(b, benchRunner.A4EllRobustness) }
+func BenchmarkAblation_ChainBaseline(b *testing.B) { benchExperiment(b, benchRunner.A5Baseline) }
+func BenchmarkCrossover_AGridVsAWave(b *testing.B) { benchExperiment(b, benchRunner.E7Crossover) }
+
+// --- Runner: serial vs parallel fan-out -----------------------------------------
+
+// benchRunnerWorkers runs a bundle of trial-heavy Quick sweeps on a pool of
+// the given size; comparing the _Serial and _Parallel variants measures the
+// engine's fan-out speedup (they produce bit-identical tables).
+func benchRunnerWorkers(b *testing.B, workers int) {
+	b.Helper()
+	r := experiments.NewRunner(experiments.WithWorkers(workers))
+	for i := 0; i < b.N; i++ {
+		for _, fn := range []func(experiments.Scale) (*report.Table, error){
+			r.E1RhoSweep, r.E3AGrid, r.E5LowerBound, r.F4Explore,
+		} {
+			if _, err := fn(experiments.Quick); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRunner_Serial(b *testing.B) { benchRunnerWorkers(b, 1) }
+func BenchmarkRunner_Parallel(b *testing.B) {
+	benchRunnerWorkers(b, runtime.GOMAXPROCS(0))
+}
 
 // --- Headline end-to-end runs with reported makespan ---------------------------
 

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	dftp-bench [-scale quick|full] [-csv dir] [-only E3]
+//	dftp-bench [-scale quick|full] [-workers N] [-csv dir] [-only E3]
+//
+// Trials within each table fan out over a worker pool (GOMAXPROCS workers by
+// default); per-trial RNG streams are derived from the sweep seed and trial
+// index, so the tables are bit-identical at any -workers value.
 package main
 
 import (
@@ -32,7 +36,9 @@ func run() error {
 		scaleName = flag.String("scale", "quick", "experiment scale: quick or full")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		only      = flag.String("only", "", "run only tables whose title contains this substring")
-		ablations = flag.Bool("ablations", false, "also run the ablation suite (A1-A4)")
+		ablations = flag.Bool("ablations", false, "also run the ablation suite (A1-A5)")
+		workers   = flag.Int("workers", 0, "worker-pool size for parallel trials (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", experiments.DefaultSeed, "sweep seed for the per-trial RNG streams")
 	)
 	flag.Parse()
 
@@ -40,13 +46,18 @@ func run() error {
 	if strings.EqualFold(*scaleName, "full") {
 		scale = experiments.Full
 	}
+	opts := []experiments.Option{experiments.WithSeed(*seed)}
+	if *workers != 0 {
+		opts = append(opts, experiments.WithWorkers(*workers))
+	}
+	runner := experiments.NewRunner(opts...)
 	start := time.Now()
-	tables, err := experiments.All(scale)
+	tables, err := runner.All(scale)
 	if err != nil {
 		return err
 	}
 	if *ablations {
-		abl, err := experiments.Ablations(scale)
+		abl, err := runner.Ablations(scale)
 		if err != nil {
 			return err
 		}
@@ -68,7 +79,8 @@ func run() error {
 			}
 		}
 	}
-	fmt.Printf("%d tables in %.1fs (scale %s)\n", shown, time.Since(start).Seconds(), *scaleName)
+	fmt.Printf("%d tables in %.1fs (scale %s, %d workers)\n",
+		shown, time.Since(start).Seconds(), *scaleName, runner.Workers())
 	return nil
 }
 

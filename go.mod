@@ -1,0 +1,3 @@
+module freezetag
+
+go 1.24

@@ -7,7 +7,7 @@ import (
 )
 
 func TestA1TreeQuality(t *testing.T) {
-	tb, err := A1TreeQuality(Quick)
+	tb, err := NewRunner().A1TreeQuality(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +21,7 @@ func TestA1TreeQuality(t *testing.T) {
 }
 
 func TestA2RhoEstimation(t *testing.T) {
-	tb, err := A2RhoEstimation(Quick)
+	tb, err := NewRunner().A2RhoEstimation(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestA2RhoEstimation(t *testing.T) {
 }
 
 func TestA3TeamGrowth(t *testing.T) {
-	tb, err := A3TeamGrowth(Quick)
+	tb, err := NewRunner().A3TeamGrowth(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestA3TeamGrowth(t *testing.T) {
 }
 
 func TestA4EllRobustness(t *testing.T) {
-	tb, err := A4EllRobustness(Quick)
+	tb, err := NewRunner().A4EllRobustness(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation as result tables: the Table 1 complexity rows (upper and lower
 // bounds), the Theorem 6 construction, and the lemma-level building-block
-// measurements behind Figures 1–5. Each experiment returns a report.Table;
-// cmd/dftp-bench renders them all, and bench_test.go wraps each one in a
-// testing.B benchmark.
+// measurements behind Figures 1–5. Each experiment is a method on Runner
+// returning a report.Table; trials fan out over the runner's worker pool
+// with deterministic per-trial RNG streams, so tables are bit-identical at
+// any worker count. cmd/dftp-bench renders them all, and bench_test.go wraps
+// each one in a testing.B benchmark.
 //
 // The paper reports asymptotic bounds rather than absolute numbers, so each
 // experiment reports the measured quantity next to the paper's model term
@@ -60,32 +62,42 @@ func solveOn(alg dftp.Algorithm, in *instance.Instance, budget float64) (float64
 // E1RhoSweep is Table 1 row 1 (ASeparator) swept in ρ at fixed ℓ: makespan
 // against the model ρ + ℓ²log₂(ρ/ℓ), plus the growth exponent in ρ
 // (expected ≈ 1 since the ρ term dominates this family).
-func E1RhoSweep(scale Scale) (*report.Table, error) {
+func (r *Runner) E1RhoSweep(scale Scale) (*report.Table, error) {
 	ns := []int{16, 32, 64}
 	if scale == Full {
 		ns = []int{16, 32, 64, 128, 192}
 	}
 	t := report.NewTable("E1a — ASeparator makespan vs ρ (ℓ=1, line family)",
 		"rho", "ell", "n", "makespan", "model ρ+ℓ²lg(ρ/ℓ)", "ratio")
-	var xs, ys []float64
-	for _, n := range ns {
+	type point struct {
+		row     Row
+		rho, mk float64
+	}
+	points, err := Map(r, ns, func(_ *Trial, n int) (point, error) {
 		in := instance.Line(n, 1)
 		mk, _, err := solveOn(dftp.ASeparator{}, in, 0)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		rho := float64(n)
 		model := rho + lg2(rho)
-		t.AddRow(rho, 1.0, n, mk, model, mk/model)
-		xs = append(xs, rho)
-		ys = append(ys, mk)
+		return point{Row{rho, 1.0, n, mk, model, mk / model}, rho, mk}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for _, p := range points {
+		t.AddRow(p.row...)
+		xs = append(xs, p.rho)
+		ys = append(ys, p.mk)
 	}
 	t.AddRow("growth exponent in rho", "", "", metrics.GrowthExponent(xs, ys), "model: 1.0", "")
 	return t, nil
 }
 
 // E1EllSweep is Table 1 row 1 swept in ℓ at fixed ρ.
-func E1EllSweep(scale Scale) (*report.Table, error) {
+func (r *Runner) E1EllSweep(scale Scale) (*report.Table, error) {
 	rho := 48.0
 	ells := []float64{1, 2, 4}
 	if scale == Full {
@@ -93,7 +105,7 @@ func E1EllSweep(scale Scale) (*report.Table, error) {
 	}
 	t := report.NewTable("E1b — ASeparator makespan vs ℓ (ρ=48, line family)",
 		"rho", "ell", "n", "makespan", "model ρ+ℓ²lg(ρ/ℓ)", "ratio")
-	for _, ell := range ells {
+	err := Sweep(r, t, ells, func(_ *Trial, ell float64) (Row, error) {
 		n := int(rho / ell)
 		in := instance.Line(n, ell)
 		mk, _, err := solveOn(dftp.ASeparator{}, in, 0)
@@ -101,7 +113,10 @@ func E1EllSweep(scale Scale) (*report.Table, error) {
 			return nil, err
 		}
 		model := rho + ell*ell*lg2(rho/ell)
-		t.AddRow(rho, ell, n, mk, model, mk/model)
+		return Row{rho, ell, n, mk, model, mk / model}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -109,7 +124,7 @@ func E1EllSweep(scale Scale) (*report.Table, error) {
 // E2EnergyThreshold is Table 1 row 2 (Theorem 3): feasibility of the
 // single-robot adversarial discovery around the budget threshold
 // π(ℓ²−1)/2.
-func E2EnergyThreshold(scale Scale) (*report.Table, error) {
+func (r *Runner) E2EnergyThreshold(scale Scale) (*report.Table, error) {
 	ell := 6.0
 	mults := []float64{0.25, 0.5, 1, 4, 12}
 	if scale == Full {
@@ -118,16 +133,19 @@ func E2EnergyThreshold(scale Scale) (*report.Table, error) {
 	t := report.NewTable("E2 — Theorem 3 energy threshold (ℓ=6, adversarial single robot)",
 		"budget/threshold", "budget", "found", "energy spent")
 	threshold := math.Pi * (ell*ell - 1) / 2
-	for _, m := range mults {
+	err := Sweep(r, t, mults, func(_ *Trial, m float64) (Row, error) {
 		res := adversary.Theorem3(ell, m*threshold)
-		t.AddRow(m, res.Budget, fmt.Sprintf("%v", res.Found), res.Energy)
+		return Row{m, res.Budget, fmt.Sprintf("%v", res.Found), res.Energy}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // E3AGrid is Table 1 row 3: AGrid makespan against ℓ·ξℓ and max per-robot
 // energy against ℓ² on line instances (where ξℓ = ρ* = n·ℓ).
-func E3AGrid(scale Scale) (*report.Table, error) {
+func (r *Runner) E3AGrid(scale Scale) (*report.Table, error) {
 	type cfg struct {
 		n   int
 		ell float64
@@ -138,7 +156,7 @@ func E3AGrid(scale Scale) (*report.Table, error) {
 	}
 	t := report.NewTable("E3 — AGrid (line family; ξℓ = nℓ)",
 		"ell", "xi", "makespan", "model ℓ·ξ", "ratio", "maxEnergy", "energy/ℓ²")
-	for _, c := range cfgs {
+	err := Sweep(r, t, cfgs, func(_ *Trial, c cfg) (Row, error) {
 		in := instance.Line(c.n, c.ell)
 		mk, en, err := solveOn(dftp.AGrid{}, in, 0)
 		if err != nil {
@@ -146,7 +164,10 @@ func E3AGrid(scale Scale) (*report.Table, error) {
 		}
 		xi := float64(c.n) * c.ell
 		model := c.ell * xi
-		t.AddRow(c.ell, xi, mk, model, mk/model, en, en/(c.ell*c.ell))
+		return Row{c.ell, xi, mk, model, mk / model, en, en / (c.ell * c.ell)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -155,7 +176,7 @@ func E3AGrid(scale Scale) (*report.Table, error) {
 // energy against ℓ²logℓ. Wave squares have width 8·max(ℓ,4)²·log₂max(ℓ,4) ≥
 // 256, so multi-square behaviour needs long instances; Quick scale stays in
 // the single-square regime.
-func E4AWave(scale Scale) (*report.Table, error) {
+func (r *Runner) E4AWave(scale Scale) (*report.Table, error) {
 	type cfg struct {
 		n   int
 		ell float64
@@ -166,7 +187,7 @@ func E4AWave(scale Scale) (*report.Table, error) {
 	}
 	t := report.NewTable("E4 — AWave (line family; ξℓ = nℓ)",
 		"ell", "xi", "makespan", "model ξ+ℓ²lg(ξ/ℓ)", "ratio", "maxEnergy", "energy/ℓ²lgℓ")
-	for _, c := range cfgs {
+	err := Sweep(r, t, cfgs, func(_ *Trial, c cfg) (Row, error) {
 		in := instance.Line(c.n, c.ell)
 		mk, en, err := solveOn(dftp.AWave{}, in, 0)
 		if err != nil {
@@ -175,7 +196,10 @@ func E4AWave(scale Scale) (*report.Table, error) {
 		xi := float64(c.n) * c.ell
 		lw := math.Max(c.ell, 4)
 		model := xi + lw*lw*lg2(xi/lw)
-		t.AddRow(c.ell, xi, mk, model, mk/model, en, en/(lw*lw*lg2(lw)))
+		return Row{c.ell, xi, mk, model, mk / model, en, en / (lw * lw * lg2(lw))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -183,7 +207,7 @@ func E4AWave(scale Scale) (*report.Table, error) {
 // E5LowerBound is the Table 1 lower-bound column (Theorem 2): ASeparator
 // makespan on the replay-hardened disk-grid instances vs the bound
 // ρ + ℓ²log(ρ/ℓ).
-func E5LowerBound(scale Scale) (*report.Table, error) {
+func (r *Runner) E5LowerBound(scale Scale) (*report.Table, error) {
 	rhos := []float64{8, 12}
 	if scale == Full {
 		rhos = []float64{8, 12, 16, 24}
@@ -191,14 +215,17 @@ func E5LowerBound(scale Scale) (*report.Table, error) {
 	ell := 2.0
 	t := report.NewTable("E5 — Theorem 2 adversarial lower bound (ASeparator, ℓ=2)",
 		"rho", "n", "adversarial makespan", "bound ρ+ℓ²lg(ρ/ℓ)", "ratio")
-	for _, rho := range rhos {
+	err := Sweep(r, t, rhos, func(_ *Trial, rho float64) (Row, error) {
 		n := int(rho * rho / (ell * ell))
 		out, err := adversary.Theorem2(dftp.ASeparator{}, rho, ell, n, 2)
 		if err != nil {
 			return nil, err
 		}
 		bound := rho + ell*ell*lg2(rho/ell)
-		t.AddRow(rho, out.Instance.N(), out.Makespan, bound, out.Makespan/bound)
+		return Row{rho, out.Instance.N(), out.Makespan, bound, out.Makespan / bound}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -210,8 +237,7 @@ func E5LowerBound(scale Scale) (*report.Table, error) {
 // apart). The table shows that this floor tracks ξ (the Ω(ξ) part of the
 // bound) while an *unconstrained* algorithm (ASeparator) undercuts it by
 // cutting across the plane — exactly the separation the theorem formalizes.
-func E6Path(scale Scale) (*report.Table, error) {
-	spec := instance.PathSpec{Ell: 2, Rho: 40, B: 3}
+func (r *Runner) E6Path(scale Scale) (*report.Table, error) {
 	xis := []float64{50, 100}
 	if scale == Full {
 		xis = []float64{50, 100, 150, 200}
@@ -220,8 +246,8 @@ func E6Path(scale Scale) (*report.Table, error) {
 		"xi (spec)", "xi (realized)", "n",
 		"B-disk ecc (floor for budget-B algs)", "floor/ξ",
 		"ASeparator makespan (unbounded)")
-	for _, xi := range xis {
-		spec.Xi = xi
+	err := Sweep(r, t, xis, func(_ *Trial, xi float64) (Row, error) {
+		spec := instance.PathSpec{Ell: 2, Rho: 40, B: 3, Xi: xi}
 		in, err := instance.BuildPath(spec)
 		if err != nil {
 			return nil, err
@@ -232,7 +258,10 @@ func E6Path(scale Scale) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(xi, p.Xi, in.N(), floor, floor/p.Xi, mk)
+		return Row{xi, p.Xi, in.N(), floor, floor / p.Xi, mk}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -245,14 +274,14 @@ func E6Path(scale Scale) (*report.Table, error) {
 // for larger ℓ (its cell width 8ℓ²log₂ℓ makes direct long-line simulation at
 // ℓ ≥ 8 prohibitively large; the schedule constants are the same ones every
 // measured AWave run above obeys).
-func E7Crossover(scale Scale) (*report.Table, error) {
+func (r *Runner) E7Crossover(scale Scale) (*report.Table, error) {
 	ells := []float64{1, 2, 4, 8, 16}
 	if scale == Quick {
 		ells = []float64{1, 2, 8}
 	}
 	t := report.NewTable("E7 — AGrid vs AWave makespan rate per unit ξ (long-line regime)",
 		"ell", "AGrid rate (measured)", "AWave rate", "AWave source", "winner")
-	for _, ell := range ells {
+	err := Sweep(r, t, ells, func(_ *Trial, ell float64) (Row, error) {
 		// AGrid: measured on a line long enough for several rounds.
 		n := int(math.Max(24, 32/ell))
 		if scale == Full {
@@ -272,7 +301,10 @@ func E7Crossover(scale Scale) (*report.Table, error) {
 		if waveRate < gridRate {
 			winner = "AWave"
 		}
-		t.AddRow(ell, gridRate, waveRate, src, winner)
+		return Row{ell, gridRate, waveRate, src, winner}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -25,7 +25,7 @@ func checkTable(t *testing.T, tb interface {
 }
 
 func TestE1RhoSweep(t *testing.T) {
-	tb, err := E1RhoSweep(Quick)
+	tb, err := NewRunner().E1RhoSweep(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestE1RhoSweep(t *testing.T) {
 }
 
 func TestE1EllSweep(t *testing.T) {
-	tb, err := E1EllSweep(Quick)
+	tb, err := NewRunner().E1EllSweep(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestE1EllSweep(t *testing.T) {
 }
 
 func TestE2EnergyThreshold(t *testing.T) {
-	tb, err := E2EnergyThreshold(Quick)
+	tb, err := NewRunner().E2EnergyThreshold(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestE2EnergyThreshold(t *testing.T) {
 }
 
 func TestE3AGrid(t *testing.T) {
-	tb, err := E3AGrid(Quick)
+	tb, err := NewRunner().E3AGrid(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestE4AWave(t *testing.T) {
 	if testing.Short() {
 		t.Skip("AWave experiment is slow")
 	}
-	tb, err := E4AWave(Quick)
+	tb, err := NewRunner().E4AWave(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestE4AWave(t *testing.T) {
 }
 
 func TestE5LowerBound(t *testing.T) {
-	tb, err := E5LowerBound(Quick)
+	tb, err := NewRunner().E5LowerBound(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestE5LowerBound(t *testing.T) {
 }
 
 func TestE6Path(t *testing.T) {
-	tb, err := E6Path(Quick)
+	tb, err := NewRunner().E6Path(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestE6Path(t *testing.T) {
 }
 
 func TestE7Crossover(t *testing.T) {
-	tb, err := E7Crossover(Quick)
+	tb, err := NewRunner().E7Crossover(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestE7Crossover(t *testing.T) {
 }
 
 func TestF1Phases(t *testing.T) {
-	tb, err := F1Phases(Quick)
+	tb, err := NewRunner().F1Phases(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestF1Phases(t *testing.T) {
 }
 
 func TestF4Explore(t *testing.T) {
-	tb, err := F4Explore(Quick)
+	tb, err := NewRunner().F4Explore(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestF4Explore(t *testing.T) {
 }
 
 func TestF5Construction(t *testing.T) {
-	tb, err := F5Construction(Quick)
+	tb, err := NewRunner().F5Construction(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestF5Construction(t *testing.T) {
 }
 
 func TestL2WakeTree(t *testing.T) {
-	tb, err := L2WakeTree(Quick)
+	tb, err := NewRunner().L2WakeTree(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestL2WakeTree(t *testing.T) {
 }
 
 func TestL5DFSampling(t *testing.T) {
-	tb, err := L5DFSampling(Quick)
+	tb, err := NewRunner().L5DFSampling(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestL5DFSampling(t *testing.T) {
 }
 
 func TestXiSanity(t *testing.T) {
-	tb, err := XiSanity()
+	tb, err := NewRunner().XiSanity()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 
@@ -21,11 +20,25 @@ import (
 // F1Phases regenerates the content of Figures 1–2: the phase anatomy of one
 // ASeparator execution — per recursion depth, the number of reorganization
 // barriers (parallel branches) and square widths, plus the wake-up timeline.
-func F1Phases(scale Scale) (*report.Table, error) {
+// The experiment is a single simulation, so it is inherently serial.
+func (r *Runner) F1Phases(scale Scale) (*report.Table, error) {
 	n := 48
 	if scale == Full {
 		n = 96
 	}
+	t := report.NewTable("F1/F2 — ASeparator phase anatomy (disk-grid ρ=12 ℓ=2)",
+		"depth", "square width", "barrier arrivals", "wake quantile t25/t50/t75/t100")
+	rows, err := f1Phases(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func f1Phases(n int) ([]Row, error) {
 	in := instance.DiskGridStatic(12, 2, n)
 	tup := dftp.TupleFor(in)
 
@@ -69,8 +82,6 @@ func F1Phases(scale Scale) (*report.Table, error) {
 	if !res.AllAwake || len(rep.Misses) > 0 {
 		return nil, fmt.Errorf("F1: run failed (awake=%v misses=%d)", res.AllAwake, len(rep.Misses))
 	}
-	t := report.NewTable("F1/F2 — ASeparator phase anatomy (disk-grid ρ=12 ℓ=2)",
-		"depth", "square width", "barrier arrivals", "wake quantile t25/t50/t75/t100")
 	depths := make([]int, 0, len(stats))
 	for d := range stats {
 		depths = append(depths, d)
@@ -85,42 +96,65 @@ func F1Phases(scale Scale) (*report.Table, error) {
 		return wakeTimes[i]
 	}
 	quant := fmt.Sprintf("%.1f/%.1f/%.1f/%.1f", q(0.25), q(0.5), q(0.75), q(1))
+	var rows []Row
 	for i, d := range depths {
 		qcol := ""
 		if i == 0 {
 			qcol = quant
 		}
-		t.AddRow(d, stats[d].width, stats[d].branches, qcol)
+		rows = append(rows, Row{d, stats[d].width, stats[d].branches, qcol})
 	}
-	return t, nil
+	return rows, nil
 }
 
 // F4Explore regenerates Figure 4's content: Lemma 1 exploration cost across
 // rectangle dimensions and team sizes, with the fitted model
 // a·wh/k + b·(w+h) + c.
-func F4Explore(scale Scale) (*report.Table, error) {
+func (r *Runner) F4Explore(scale Scale) (*report.Table, error) {
 	dims := [][2]float64{{8, 8}, {16, 8}}
 	ks := []int{1, 2, 4}
 	if scale == Full {
 		dims = [][2]float64{{8, 8}, {16, 8}, {16, 16}, {32, 16}}
 		ks = []int{1, 2, 4, 8}
 	}
+	type cfg struct {
+		w, h float64
+		k    int
+	}
+	var cfgs []cfg
+	for _, d := range dims {
+		for _, k := range ks {
+			cfgs = append(cfgs, cfg{d[0], d[1], k})
+		}
+	}
 	t := report.NewTable("F4 — Explore cost (Lemma 1: O(wh/k + w + h))",
 		"w", "h", "k", "duration", "model wh/k+w+h", "ratio")
+	type point struct {
+		row  Row
+		feat []float64
+		y    float64
+	}
+	points, err := Map(r, cfgs, func(_ *Trial, c cfg) (point, error) {
+		dur, err := exploreDuration(c.w, c.h, c.k)
+		if err != nil {
+			return point{}, err
+		}
+		model := c.w*c.h/float64(c.k) + c.w + c.h
+		return point{
+			row:  Row{c.w, c.h, c.k, dur, model, dur / model},
+			feat: []float64{c.w * c.h / float64(c.k), c.w + c.h, 1},
+			y:    dur,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var feats [][]float64
 	var ys []float64
-	for _, d := range dims {
-		w, h := d[0], d[1]
-		for _, k := range ks {
-			dur, err := exploreDuration(w, h, k)
-			if err != nil {
-				return nil, err
-			}
-			model := w*h/float64(k) + w + h
-			t.AddRow(w, h, k, dur, model, dur/model)
-			feats = append(feats, []float64{w * h / float64(k), w + h, 1})
-			ys = append(ys, dur)
-		}
+	for _, p := range points {
+		t.AddRow(p.row...)
+		feats = append(feats, p.feat)
+		ys = append(ys, p.y)
 	}
 	if coef, r2, err := metrics.FitLinear(feats, ys); err == nil {
 		t.AddRow("fit", "", "", fmt.Sprintf("a=%.2f b=%.2f c=%.2f", coef[0], coef[1], coef[2]),
@@ -168,7 +202,7 @@ func exploreDuration(w, h float64, k int) (float64, error) {
 // F5Construction regenerates Figure 5's content: the Theorem 2 layout
 // statistics — |C| against the Lemma 12 bound 1+ρ²/ℓ², and the Lemma 13
 // ℓ-connectivity of the disk-grid instances.
-func F5Construction(scale Scale) (*report.Table, error) {
+func (r *Runner) F5Construction(scale Scale) (*report.Table, error) {
 	type cfg struct{ rho, ell float64 }
 	cfgs := []cfg{{8, 2}, {16, 2}}
 	if scale == Full {
@@ -176,12 +210,15 @@ func F5Construction(scale Scale) (*report.Table, error) {
 	}
 	t := report.NewTable("F5 — Theorem 2 construction (Lemmas 12–13)",
 		"rho", "ell", "|C|", "bound 1+ρ²/ℓ²", "ℓ* of disk-grid", "ℓ-connected")
-	for _, c := range cfgs {
+	err := Sweep(r, t, cfgs, func(_ *Trial, c cfg) (Row, error) {
 		centers := instance.CentersC(c.rho, c.ell)
 		in := instance.DiskGridStatic(c.rho, c.ell, 1<<20)
 		p := in.Params()
-		t.AddRow(c.rho, c.ell, len(centers), 1+c.rho*c.rho/(c.ell*c.ell),
-			p.Ell, fmt.Sprintf("%v", p.Ell <= c.ell+1e-9))
+		return Row{c.rho, c.ell, len(centers), 1 + c.rho*c.rho/(c.ell*c.ell),
+			p.Ell, fmt.Sprintf("%v", p.Ell <= c.ell+1e-9)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -189,29 +226,31 @@ func F5Construction(scale Scale) (*report.Table, error) {
 // L2WakeTree measures Lemma 2's constant: the worst makespan/width ratio of
 // the centralized wake-up tree over random squares (paper constant 5 with
 // the [BCGH24] tree; ours is the ≈10.1 longest-side-bisection constant).
-func L2WakeTree(scale Scale) (*report.Table, error) {
+func (r *Runner) L2WakeTree(scale Scale) (*report.Table, error) {
 	widths := []float64{4, 16}
 	trials := 20
 	if scale == Full {
 		widths = []float64{4, 16, 64, 256}
 		trials = 60
 	}
-	rng := rand.New(rand.NewSource(99))
 	t := report.NewTable("L2 — wake-up tree makespan/width (paper: ≤5R; ours: ≤~10.1R)",
 		"width", "trials", "mean ratio", "max ratio")
-	for _, w := range widths {
+	err := Sweep(r, t, widths, func(tr *Trial, w float64) (Row, error) {
 		var ratios []float64
 		for trial := 0; trial < trials; trial++ {
-			n := 10 + rng.Intn(100)
+			n := 10 + tr.RNG.Intn(100)
 			ts := make([]wakeup.Target, n)
 			for i := range ts {
 				ts[i] = wakeup.Target{ID: i + 1,
-					Pos: geom.Pt((rng.Float64()-0.5)*w, (rng.Float64()-0.5)*w)}
+					Pos: geom.Pt((tr.RNG.Float64()-0.5)*w, (tr.RNG.Float64()-0.5)*w)}
 			}
 			m := wakeup.Makespan(geom.Origin, wakeup.BuildTree(geom.Origin, ts))
 			ratios = append(ratios, m/w)
 		}
-		t.AddRow(w, trials, metrics.Mean(ratios), metrics.Max(ratios))
+		return Row{w, trials, metrics.Mean(ratios), metrics.Max(ratios)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -220,7 +259,7 @@ func L2WakeTree(scale Scale) (*report.Table, error) {
 // on chain instances. The lemma's single-robot-start regime O(ℓ²·log k) only
 // covers k ≤ 4ℓ (beyond that the backtracking term 2kℓ stops being O(ℓ²)),
 // so the sweep keeps k within 4ℓ for each ℓ.
-func L5DFSampling(scale Scale) (*report.Table, error) {
+func (r *Runner) L5DFSampling(scale Scale) (*report.Table, error) {
 	type cfg struct {
 		ell    float64
 		target int
@@ -231,13 +270,16 @@ func L5DFSampling(scale Scale) (*report.Table, error) {
 	}
 	t := report.NewTable("L5 — DFSampling time vs recruits (chain; model ℓ²·lg k, valid for k ≤ 4ℓ)",
 		"ell", "recruit target", "recruited", "duration", "model ℓ²lg(k)", "ratio")
-	for _, c := range cfgs {
+	err := Sweep(r, t, cfgs, func(_ *Trial, c cfg) (Row, error) {
 		dur, got, err := dfsampleDuration(c.ell, c.target)
 		if err != nil {
 			return nil, err
 		}
 		model := c.ell * c.ell * lg2(float64(c.target))
-		t.AddRow(c.ell, c.target, got, dur, model, dur/model)
+		return Row{c.ell, c.target, got, dur, model, dur / model}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -278,37 +320,44 @@ func dfsampleDuration(ell float64, target int) (float64, int, error) {
 
 // XiSanity cross-checks the diskgraph parameter computations on the
 // experiment families (an internal consistency row used by dftp-bench).
-func XiSanity() (*report.Table, error) {
+// Family construction is serial (the walk family consumes a shared RNG
+// sequence); the parameter computations fan out per family.
+func (r *Runner) XiSanity() (*report.Table, error) {
 	t := report.NewTable("Parameter sanity (Proposition 1 on experiment families)",
 		"instance", "ell*", "rho*", "xi", "ok: ℓ*≤ρ*≤ξ≤nℓ*")
-	rng := rand.New(rand.NewSource(7))
+	rng := r.trial(0).RNG
 	families := []*instance.Instance{
 		instance.Line(24, 1.5),
 		instance.GridSwarm(5, 2),
 		instance.RandomWalk(rng, 40, 0.9),
 		instance.DiskGridStatic(10, 2, 40),
 	}
-	for _, in := range families {
+	err := Sweep(r, t, families, func(_ *Trial, in *instance.Instance) (Row, error) {
 		p := in.Params()
 		ok := diskgraph.CheckProposition1(in.Source, in.Points)
-		t.AddRow(in.Name, p.Ell, p.Rho, p.Xi, fmt.Sprintf("%v", ok))
+		return Row{in.Name, p.Ell, p.Rho, p.Xi, fmt.Sprintf("%v", ok)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // All runs every experiment at the given scale, returning the tables in
-// presentation order. Used by cmd/dftp-bench.
-func All(scale Scale) ([]*report.Table, error) {
+// presentation order. Used by cmd/dftp-bench. The tables themselves are
+// generated sequentially; parallelism lives inside each table's trial sweep,
+// which keeps the memory high-water mark at one experiment.
+func (r *Runner) All(scale Scale) ([]*report.Table, error) {
 	type gen struct {
 		name string
 		fn   func(Scale) (*report.Table, error)
 	}
 	gens := []gen{
-		{"E1a", E1RhoSweep}, {"E1b", E1EllSweep}, {"E2", E2EnergyThreshold},
-		{"E3", E3AGrid}, {"E4", E4AWave}, {"E5", E5LowerBound}, {"E6", E6Path},
-		{"E7", E7Crossover},
-		{"F1", F1Phases}, {"F4", F4Explore}, {"F5", F5Construction},
-		{"L2", L2WakeTree}, {"L5", L5DFSampling},
+		{"E1a", r.E1RhoSweep}, {"E1b", r.E1EllSweep}, {"E2", r.E2EnergyThreshold},
+		{"E3", r.E3AGrid}, {"E4", r.E4AWave}, {"E5", r.E5LowerBound}, {"E6", r.E6Path},
+		{"E7", r.E7Crossover},
+		{"F1", r.F1Phases}, {"F4", r.F4Explore}, {"F5", r.F5Construction},
+		{"L2", r.L2WakeTree}, {"L5", r.L5DFSampling},
 	}
 	var out []*report.Table
 	for _, g := range gens {
@@ -318,10 +367,16 @@ func All(scale Scale) ([]*report.Table, error) {
 		}
 		out = append(out, tb)
 	}
-	sanity, err := XiSanity()
+	sanity, err := r.XiSanity()
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, sanity)
 	return out, nil
+}
+
+// All runs every experiment on a fresh default runner (GOMAXPROCS workers,
+// DefaultSeed).
+func All(scale Scale) ([]*report.Table, error) {
+	return NewRunner().All(scale)
 }

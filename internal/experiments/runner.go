@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"freezetag/internal/report"
+)
+
+// Runner fans experiment trials out over a fixed-size worker pool. Every
+// experiment generator in this package is a method on Runner; the pool size
+// only changes wall-clock time, never results: each trial gets a private RNG
+// stream derived from the sweep seed and its trial index (see TrialSeed),
+// and results are aggregated in trial order, so parallel output is
+// bit-identical to serial output.
+type Runner struct {
+	workers int
+	seed    int64
+}
+
+// DefaultSeed is the sweep seed used when WithSeed is not given. It is part
+// of the reproduction contract: published tables are generated with it.
+const DefaultSeed int64 = 0x5EEDF4EE
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithWorkers sets the worker-pool size. Values below 1 are clamped to 1
+// (serial execution). The default is runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(r *Runner) {
+		if n < 1 {
+			n = 1
+		}
+		r.workers = n
+	}
+}
+
+// WithSeed sets the sweep seed from which every per-trial RNG stream is
+// derived.
+func WithSeed(seed int64) Option {
+	return func(r *Runner) { r.seed = seed }
+}
+
+// NewRunner builds a Runner with GOMAXPROCS workers and DefaultSeed, then
+// applies opts.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{workers: runtime.GOMAXPROCS(0), seed: DefaultSeed}
+	if r.workers < 1 {
+		r.workers = 1
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Workers reports the worker-pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Seed reports the sweep seed.
+func (r *Runner) Seed() int64 { return r.seed }
+
+// Trial is one unit of work in a sweep: its position in the parameter grid
+// and its private deterministic RNG stream. Trials must draw randomness only
+// from RNG (never a shared rand.Rand) so that results do not depend on the
+// execution schedule.
+type Trial struct {
+	// Index is the trial's position in the sweep's parameter grid.
+	Index int
+	// RNG is the trial's private stream, seeded with TrialSeed(seed, Index).
+	RNG *rand.Rand
+}
+
+// Row is one result row of a sweep, in report.Table cell order.
+type Row []interface{}
+
+// TrialSeed derives the RNG seed of trial i from the sweep seed with a
+// splitmix64 finalizer. Streams are decided by (seed, i) alone —
+// independent of worker count and execution order — which is what makes
+// parallel sweeps bit-identical to serial ones.
+func TrialSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*(uint64(i)+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+func (r *Runner) trial(i int) *Trial {
+	return &Trial{Index: i, RNG: rand.New(rand.NewSource(TrialSeed(r.seed, i)))}
+}
+
+// Map runs fn over params on r's worker pool and returns the results in
+// parameter order. If any trials fail, the error of the lowest-indexed
+// failing trial is returned (again independent of scheduling); the remaining
+// trials still run to completion.
+func Map[P, R any](r *Runner, params []P, fn func(*Trial, P) (R, error)) ([]R, error) {
+	n := len(params)
+	out := make([]R, n)
+	if n == 0 {
+		return out, nil
+	}
+	errs := make([]error, n)
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(r.trial(i), params[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Sweep is the one-row-per-trial convenience over Map: it runs fn over
+// params and appends each trial's row to tab in parameter order.
+func Sweep[P any](r *Runner, tab *report.Table, params []P, fn func(*Trial, P) (Row, error)) error {
+	rows, err := Map(r, params, fn)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		tab.AddRow(row...)
+	}
+	return nil
+}

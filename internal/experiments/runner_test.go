@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"freezetag/internal/report"
+)
+
+// TestTrialSeedStability pins the seed derivation: per-trial seeds depend on
+// (sweep seed, index) only, differ across indices, and differ across sweep
+// seeds. Changing TrialSeed changes every published table, so it must not
+// drift silently.
+func TestTrialSeedStability(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := TrialSeed(DefaultSeed, i)
+		if s2 := TrialSeed(DefaultSeed, i); s2 != s {
+			t.Fatalf("TrialSeed not deterministic at %d: %d vs %d", i, s, s2)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: trials %d and %d both got %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if TrialSeed(1, 0) == TrialSeed(2, 0) {
+		t.Error("different sweep seeds produced the same trial seed")
+	}
+}
+
+// TestMapOrderAndStreams checks the two runner invariants at once: results
+// come back in parameter order, and each trial's RNG stream is decided by
+// its index alone, regardless of worker count.
+func TestMapOrderAndStreams(t *testing.T) {
+	params := make([]int, 64)
+	for i := range params {
+		params[i] = i
+	}
+	run := func(workers int) []float64 {
+		r := NewRunner(WithWorkers(workers))
+		out, err := Map(r, params, func(tr *Trial, p int) (float64, error) {
+			if tr.Index != p {
+				t.Errorf("trial index %d delivered param %d", tr.Index, p)
+			}
+			return float64(p) + tr.RNG.Float64(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		par := run(workers)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: trial %d diverged: %v vs %v",
+					workers, i, par[i], serial[i])
+			}
+		}
+	}
+	for i, v := range serial {
+		if int(v) != i {
+			t.Fatalf("result %d out of order: %v", i, v)
+		}
+	}
+}
+
+// TestMapErrorIsLowestIndex checks that when several trials fail, the
+// reported error is the lowest-indexed one — deterministic regardless of
+// which worker hit its error first.
+func TestMapErrorIsLowestIndex(t *testing.T) {
+	boom := errors.New("boom")
+	r := NewRunner(WithWorkers(4))
+	_, err := Map(r, []int{0, 1, 2, 3, 4, 5}, func(_ *Trial, p int) (int, error) {
+		if p == 2 || p == 5 {
+			return 0, fmt.Errorf("param %d: %w", p, boom)
+		}
+		return p, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "trial 2") {
+		t.Fatalf("want lowest-indexed failure (trial 2), got: %v", err)
+	}
+}
+
+func TestMapEmptyAndClamp(t *testing.T) {
+	r := NewRunner(WithWorkers(-3))
+	if r.Workers() != 1 {
+		t.Errorf("workers not clamped: %d", r.Workers())
+	}
+	out, err := Map(r, nil, func(_ *Trial, p int) (int, error) { return p, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty sweep: out=%v err=%v", out, err)
+	}
+}
+
+func TestSweepAppendsInOrder(t *testing.T) {
+	tab := report.NewTable("t", "i")
+	r := NewRunner(WithWorkers(8))
+	err := Sweep(r, tab, []int{10, 20, 30, 40}, func(_ *Trial, p int) (Row, error) {
+		return Row{p}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "10\n20\n30\n40"
+	if got := tab.String(); !strings.Contains(got, want) {
+		t.Errorf("rows out of order:\n%s", got)
+	}
+}
+
+// parallelWorkers picks a worker count that actually exercises concurrent
+// trials even on single-core CI machines.
+func parallelWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 4
+}
+
+// assertTableIdentical runs one experiment generator serially and in
+// parallel and requires byte-identical renders — the engine's headline
+// guarantee.
+func assertTableIdentical(t *testing.T, name string,
+	gen func(*Runner) (*report.Table, error)) {
+	t.Helper()
+	serialTab, err := gen(NewRunner(WithWorkers(1)))
+	if err != nil {
+		t.Fatalf("%s serial: %v", name, err)
+	}
+	parTab, err := gen(NewRunner(WithWorkers(parallelWorkers())))
+	if err != nil {
+		t.Fatalf("%s parallel: %v", name, err)
+	}
+	if s, p := serialTab.String(), parTab.String(); s != p {
+		t.Errorf("%s: parallel table differs from serial.\nserial:\n%s\nparallel:\n%s",
+			name, s, p)
+	}
+}
+
+// TestParallelMatchesSerial is the integration test of the determinism
+// contract on real experiments: a deterministic sweep (E1a), an RNG-heavy
+// sweep (A1), and the slow multi-config sweep (E4).
+func TestParallelMatchesSerial(t *testing.T) {
+	assertTableIdentical(t, "E1RhoSweep", func(r *Runner) (*report.Table, error) {
+		return r.E1RhoSweep(Quick)
+	})
+	assertTableIdentical(t, "A1TreeQuality", func(r *Runner) (*report.Table, error) {
+		return r.A1TreeQuality(Quick)
+	})
+	if testing.Short() {
+		t.Skip("skipping E4 (slow) in -short mode")
+	}
+	assertTableIdentical(t, "E4AWave", func(r *Runner) (*report.Table, error) {
+		return r.E4AWave(Quick)
+	})
+}
+
+// TestSeedChangesRNGTables checks WithSeed actually reaches the trial
+// streams: an RNG-driven table must change under a different sweep seed.
+func TestSeedChangesRNGTables(t *testing.T) {
+	a, err := NewRunner(WithSeed(1)).A1TreeQuality(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(WithSeed(2)).A1TreeQuality(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("different sweep seeds produced identical RNG-driven tables")
+	}
+}

@@ -23,20 +23,47 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
-// AddRow appends a row; values are formatted with %v, floats compactly.
+// AddRow appends a row. Mixed-type rows are part of the contract — sweeps
+// append summary/label rows (strings) into otherwise-numeric columns — so
+// each cell is formatted by its own type:
+//
+//   - float64, float32: compact float formatting (fixed up to 2 decimals in
+//     [0.01, 10000), scientific with 3 decimals outside; NaN/Inf spelled out)
+//   - string: verbatim
+//   - nil: empty cell
+//   - fmt.Stringer: its String()
+//   - anything else (ints, bools, ...): fmt's %v
+//
+// Rows shorter than the header are padded with empty cells so partial rows
+// render and export with the full column count; longer rows are kept intact
+// (Render and WriteCSV widen to the longest row).
 func (t *Table) AddRow(cells ...interface{}) {
-	row := make([]string, len(cells))
+	n := len(cells)
+	if n < len(t.Headers) {
+		n = len(t.Headers)
+	}
+	row := make([]string, n)
 	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = formatFloat(v)
-		case string:
-			row[i] = v
-		default:
-			row[i] = fmt.Sprintf("%v", v)
-		}
+		row[i] = formatCell(c)
 	}
 	t.rows = append(t.rows, row)
+}
+
+func formatCell(c interface{}) string {
+	switch v := c.(type) {
+	case nil:
+		return ""
+	case float64:
+		return formatFloat(v)
+	case float32:
+		return formatFloat(float64(v))
+	case string:
+		return v
+	case fmt.Stringer:
+		return v.String()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
 }
 
 // NumRows returns the number of data rows.
@@ -57,15 +84,22 @@ func formatFloat(v float64) string {
 	}
 }
 
-// Render writes the table as aligned ASCII.
+// Render writes the table as aligned ASCII. Column widths cover the longest
+// row, so rows wider than the header render rather than panic.
 func (t *Table) Render(w io.Writer) error {
-	widths := make([]int, len(t.Headers))
+	ncols := len(t.Headers)
+	for _, row := range t.rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

@@ -1,8 +1,10 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableRender(t *testing.T) {
@@ -41,6 +43,62 @@ func TestFloatFormatting(t *testing.T) {
 	}
 	if s := formatFloat(0.0001); !strings.Contains(s, "e-") {
 		t.Errorf("small -> %q", s)
+	}
+}
+
+// TestAddRowMixedTypes pins the AddRow formatting contract: sweeps append
+// string label/summary rows into numeric columns (e.g. E1a's growth-exponent
+// row), so every cell type must have a defined rendering.
+func TestAddRowMixedTypes(t *testing.T) {
+	tb := NewTable("Mixed", "rho", "ell", "n", "makespan")
+	tb.AddRow(16.0, 1.0, 16, 21.5)
+	// The E1a-style summary row: string label in a float column, empty
+	// strings for unused columns, a float where an int usually lives.
+	tb.AddRow("growth exponent in rho", "", "", 1.02)
+	tb.AddRow(nil, true, float32(2.5), 3*time.Second) // nil, bool, float32, Stringer
+	out := tb.String()
+	for _, want := range []string{"growth exponent in rho", "1.02", "true", "2.50", "3s", "16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "<nil>") {
+		t.Errorf("nil cell leaked fmt fallback:\n%s", out)
+	}
+	if s := formatCell(nil); s != "" {
+		t.Errorf("nil cell -> %q, want empty", s)
+	}
+}
+
+// TestAddRowRagged pins the padding contract: short rows are padded to the
+// header width, and rows longer than the header still render and export.
+func TestAddRowRagged(t *testing.T) {
+	tb := NewTable("Ragged", "a", "b", "c")
+	tb.AddRow(1) // short: padded to 3 cells
+	tb.AddRow(1, 2, 3, 4, 5)
+	out := tb.String() // must not panic on the wide row
+	if !strings.Contains(out, "5") {
+		t.Errorf("extra cells dropped:\n%s", out)
+	}
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[1] != "1,," {
+		t.Errorf("short row not padded in CSV: %q", lines[1])
+	}
+	if lines[2] != "1,2,3,4,5" {
+		t.Errorf("wide row mangled in CSV: %q", lines[2])
+	}
+}
+
+func TestFloatSpecialValues(t *testing.T) {
+	if s := formatFloat(math.NaN()); s != "NaN" {
+		t.Errorf("NaN -> %q", s)
+	}
+	if s := formatFloat(math.Inf(1)); !strings.Contains(s, "Inf") {
+		t.Errorf("+Inf -> %q", s)
 	}
 }
 
