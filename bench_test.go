@@ -24,6 +24,7 @@ import (
 	"freezetag/internal/geom"
 	"freezetag/internal/instance"
 	"freezetag/internal/report"
+	"freezetag/internal/service"
 	"freezetag/internal/sim"
 	"freezetag/internal/spatial"
 	"freezetag/internal/wakeup"
@@ -226,6 +227,51 @@ func BenchmarkExplore_PlanRect(b *testing.B) {
 		pl := explore.PlanRect(r)
 		if len(pl.Stops) == 0 {
 			b.Fatal("empty plan")
+		}
+	}
+}
+
+// --- Solver service -----------------------------------------------------------
+
+// serviceSolveRequest is the fixed request the service benchmarks use.
+func serviceSolveRequest(seed int64) service.SolveRequest {
+	return service.SolveRequest{Algorithm: "agrid", Family: "walk", N: 32, Param: 0.9, Seed: seed}
+}
+
+// BenchmarkService_SolveCold measures the uncached path: every iteration is
+// a distinct request (fresh seed), so each one resolves, hashes, queues, and
+// simulates. The cold/cached pair is the baseline later caching PRs compare
+// against.
+func BenchmarkService_SolveCold(b *testing.B) {
+	s := service.New(service.Config{QueueDepth: 1, CacheSize: 1})
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(serviceSolveRequest(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkService_SolveCached measures the hit path: one warm-up solve,
+// then every iteration is the identical request served from the LRU
+// (resolve + hash + lookup, no simulation).
+func BenchmarkService_SolveCached(b *testing.B) {
+	s := service.New(service.Config{})
+	defer s.Close()
+	if _, err := s.Solve(serviceSolveRequest(0)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv, err := s.Solve(serviceSolveRequest(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sv.Hit {
+			b.Fatal("cached benchmark missed the cache")
 		}
 	}
 }

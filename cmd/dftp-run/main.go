@@ -3,22 +3,25 @@
 //
 // Usage:
 //
-//	dftp-run -alg aseparator|agrid|awave [-instance file.json]
+//	dftp-run -alg aseparator|agrid|awave|aseparatorauto [-instance file.json]
 //	         [-family line|walk|disk|grid|chain] [-n 32] [-param 1.0]
-//	         [-budget 0] [-seed 1] [-trace out.csv]
+//	         [-budget 0] [-seed 1] [-trace out.csv] [-json]
 //
 // Without -instance, an instance is generated from -family/-n/-param.
+// With -json, the result is printed as the solver service's SolveResponse
+// (one compact JSON object) — byte-comparable with a POST /v1/solve reply
+// for the same request.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"strings"
 
 	"freezetag/internal/dftp"
 	"freezetag/internal/instance"
+	"freezetag/internal/service"
 	"freezetag/internal/sim"
 	"freezetag/internal/trace"
 )
@@ -32,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		algName  = flag.String("alg", "aseparator", "algorithm: aseparator, agrid, awave")
+		algName  = flag.String("alg", "aseparator", "algorithm: aseparator, agrid, awave, aseparatorauto")
 		instPath = flag.String("instance", "", "instance JSON file (overrides -family)")
 		family   = flag.String("family", "walk", "generated family: line, walk, disk, grid, chain")
 		n        = flag.Int("n", 32, "number of robots for generated instances")
@@ -40,10 +43,11 @@ func run() error {
 		budget   = flag.Float64("budget", 0, "per-robot energy budget (0 = unconstrained)")
 		seed     = flag.Int64("seed", 1, "random seed for generated instances")
 		traceOut = flag.String("trace", "", "write the event trace as CSV to this file")
+		jsonOut  = flag.Bool("json", false, "print the result as the service's SolveResponse JSON")
 	)
 	flag.Parse()
 
-	alg, err := algByName(*algName)
+	alg, err := service.AlgorithmByName(*algName)
 	if err != nil {
 		return err
 	}
@@ -52,34 +56,45 @@ func run() error {
 		return err
 	}
 	tup := dftp.TupleFor(inst)
-	fmt.Printf("instance: %s (n=%d)\n", inst.Name, inst.N())
-	p := inst.Params()
-	fmt.Printf("params:   ℓ*=%.4g ρ*=%.4g ξ=%.4g  tuple=(ℓ=%.4g, ρ=%.4g, n=%d)\n",
-		p.Ell, p.Rho, p.Xi, tup.Ell, tup.Rho, tup.N)
-
-	rec := trace.New()
-	cfg := sim.Config{Source: inst.Source, Sleepers: inst.Points, Budget: *budget}
-	if *traceOut != "" {
-		cfg.Trace = rec.Record
+	if !*jsonOut {
+		fmt.Printf("instance: %s (n=%d)\n", inst.Name, inst.N())
+		p := inst.Params()
+		fmt.Printf("params:   ℓ*=%.4g ρ*=%.4g ξ=%.4g  tuple=(ℓ=%.4g, ρ=%.4g, n=%d)\n",
+			p.Ell, p.Rho, p.Xi, tup.Ell, tup.Rho, tup.N)
 	}
-	e := sim.NewEngine(cfg)
-	rep := alg.Install(e, tup)
-	res, err := e.Run()
+
+	// Only pay for event recording when the trace is actually wanted.
+	var rec *trace.Recorder
+	var traceFn func(sim.Event)
+	if *traceOut != "" {
+		rec = trace.New()
+		traceFn = rec.Record
+	}
+	res, rep, err := dftp.SolveTraced(alg, inst, tup, *budget, traceFn)
 	if err != nil {
 		return fmt.Errorf("simulation: %w", err)
 	}
 
-	fmt.Printf("algorithm: %s\n", alg.Name())
-	fmt.Printf("makespan:  %.4f\n", res.Makespan)
-	fmt.Printf("duration:  %.4f\n", res.Duration)
-	fmt.Printf("awakened:  %d/%d (all awake: %v)\n", res.Awakened, inst.N(), res.AllAwake)
-	fmt.Printf("energy:    max=%.4f total=%.4f\n", res.MaxEnergy, res.TotalEnergy)
-	fmt.Printf("rounds:    %d\n", rep.Rounds)
-	if len(rep.Misses) > 0 {
-		fmt.Printf("schedule misses: %d (first: %s)\n", len(rep.Misses), rep.Misses[0])
-	}
-	if len(res.Violations) > 0 {
-		fmt.Printf("budget violations: %d (first: %s)\n", len(res.Violations), res.Violations[0])
+	if *jsonOut {
+		hash := instance.HashRequest(alg.Name(), inst, tup.Ell, tup.Rho, tup.N, *budget)
+		body, err := json.Marshal(service.NewSolveResponse(hash, alg, inst, tup, *budget, res, rep))
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(body))
+	} else {
+		fmt.Printf("algorithm: %s\n", alg.Name())
+		fmt.Printf("makespan:  %.4f\n", res.Makespan)
+		fmt.Printf("duration:  %.4f\n", res.Duration)
+		fmt.Printf("awakened:  %d/%d (all awake: %v)\n", res.Awakened, inst.N(), res.AllAwake)
+		fmt.Printf("energy:    max=%.4f total=%.4f\n", res.MaxEnergy, res.TotalEnergy)
+		fmt.Printf("rounds:    %d\n", rep.Rounds)
+		if len(rep.Misses) > 0 {
+			fmt.Printf("schedule misses: %d (first: %s)\n", len(rep.Misses), rep.Misses[0])
+		}
+		if len(res.Violations) > 0 {
+			fmt.Printf("budget violations: %d (first: %s)\n", len(res.Violations), res.Violations[0])
+		}
 	}
 
 	if *traceOut != "" {
@@ -91,7 +106,9 @@ func run() error {
 		if err := rec.WriteCSV(f); err != nil {
 			return err
 		}
-		fmt.Printf("trace:     %d events -> %s\n", rec.Len(), *traceOut)
+		if !*jsonOut {
+			fmt.Printf("trace:     %d events -> %s\n", rec.Len(), *traceOut)
+		}
 	}
 	if !res.AllAwake {
 		return fmt.Errorf("run left %d robots asleep", inst.N()-res.Awakened)
@@ -99,40 +116,9 @@ func run() error {
 	return nil
 }
 
-func algByName(name string) (dftp.Algorithm, error) {
-	switch strings.ToLower(name) {
-	case "aseparator", "separator":
-		return dftp.ASeparator{}, nil
-	case "agrid", "grid":
-		return dftp.AGrid{}, nil
-	case "awave", "wave":
-		return dftp.AWave{}, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
-	}
-}
-
 func loadOrGenerate(path, family string, n int, param float64, seed int64) (*instance.Instance, error) {
 	if path != "" {
 		return instance.Load(path)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	switch strings.ToLower(family) {
-	case "line":
-		return instance.Line(n, param), nil
-	case "walk":
-		return instance.RandomWalk(rng, n, param), nil
-	case "disk":
-		return instance.UniformDisk(rng, n, param*10), nil
-	case "grid":
-		k := 1
-		for k*k < n {
-			k++
-		}
-		return instance.GridSwarm(k, param), nil
-	case "chain":
-		return instance.ClusterChain(rng, n/8+1, 8, param*5, param), nil
-	default:
-		return nil, fmt.Errorf("unknown family %q", family)
-	}
+	return instance.Family(family, n, param, seed)
 }

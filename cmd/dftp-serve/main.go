@@ -1,0 +1,86 @@
+// Command dftp-serve runs the freeze-tag solver as a long-running HTTP
+// daemon: a content-addressed result cache and a bounded job queue in front
+// of the deterministic simulator.
+//
+// Usage:
+//
+//	dftp-serve [-addr :8080] [-workers 0] [-queue 64] [-cache 1024]
+//
+// Endpoints:
+//
+//	POST /v1/solve         one solve (inline instance or family/n/param/seed)
+//	POST /v1/batch         many solves, order-preserving response
+//	GET  /v1/solve/{hash}  cache probe (404 on miss, never computes)
+//	GET  /v1/trace/{hash}  cached event stream as NDJSON
+//	GET  /healthz          liveness
+//	GET  /statsz           cache hit rate, queue depth, solves served
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight requests
+// complete, the queue drains, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"freezetag/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dftp-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "job queue depth (full queue sheds with 429)")
+		cache   = flag.Int("cache", 1024, "result cache capacity in entries")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	st := svc.Stats()
+	fmt.Printf("dftp-serve: listening on %s (workers=%d queue=%d cache=%d)\n",
+		*addr, st.Workers, st.QueueCapacity, st.CacheCapacity)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("dftp-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

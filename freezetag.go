@@ -87,6 +87,17 @@ func Solve(alg Algorithm, in *Instance, tup Tuple, budget float64) (Result, *Rep
 	return dftp.Solve(alg, in, tup, budget)
 }
 
+// HashRequest returns the content-addressed key of a solve request: the
+// SHA-256 hex of a canonical encoding of (algorithm, instance, tuple,
+// budget) with stable field order and normalized floats. Because Solve is
+// deterministic, the key identifies the result as well as the request — it
+// is the cache key of the solver service (cmd/dftp-serve) and the "hash"
+// field of its responses. Budgets ≤ 0 all mean "unconstrained" and hash
+// identically.
+func HashRequest(alg Algorithm, in *Instance, tup Tuple, budget float64) string {
+	return instance.HashRequest(alg.Name(), in, tup.Ell, tup.Rho, tup.N, budget)
+}
+
 // --- Instance generators -----------------------------------------------------
 
 // Line places n robots on the x-axis with the given spacing — the canonical

@@ -85,3 +85,23 @@ func TestPublicAPIBudget(t *testing.T) {
 		t.Errorf("budget exceeded: %v", res.MaxEnergy)
 	}
 }
+
+func TestPublicAPIHashRequest(t *testing.T) {
+	in := freezetag.Line(10, 1)
+	tup := freezetag.TupleFor(in)
+	h1 := freezetag.HashRequest(freezetag.AGrid, in, tup, 0)
+	h2 := freezetag.HashRequest(freezetag.AGrid, in, tup, 0)
+	if h1 != h2 {
+		t.Fatalf("identical requests hashed differently: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not sha256 hex", h1)
+	}
+	if h1 == freezetag.HashRequest(freezetag.AWave, in, tup, 0) {
+		t.Fatal("different algorithms share a request hash")
+	}
+	// Unconstrained budgets (≤ 0) are one key.
+	if h1 != freezetag.HashRequest(freezetag.AGrid, in, tup, -1) {
+		t.Fatal("budget 0 and -1 should share a request hash")
+	}
+}

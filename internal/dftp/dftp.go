@@ -94,7 +94,15 @@ type Algorithm interface {
 // Solve runs alg on inst with the given per-robot energy budget (≤ 0 for
 // unconstrained) and returns the simulation result and report.
 func Solve(alg Algorithm, inst *instance.Instance, tup Tuple, budget float64) (sim.Result, *Report, error) {
-	e := sim.NewEngine(sim.Config{Source: inst.Source, Sleepers: inst.Points, Budget: budget})
+	return SolveTraced(alg, inst, tup, budget, nil)
+}
+
+// SolveTraced is Solve with an event-trace callback attached to the engine
+// (nil for none). It is the facade used by callers that need the event
+// stream — cmd/dftp-run and the solver service — without reaching into the
+// engine themselves. Tracing never changes the result.
+func SolveTraced(alg Algorithm, inst *instance.Instance, tup Tuple, budget float64, traceFn func(sim.Event)) (sim.Result, *Report, error) {
+	e := sim.NewEngine(sim.Config{Source: inst.Source, Sleepers: inst.Points, Budget: budget, Trace: traceFn})
 	rep := alg.Install(e, tup)
 	res, err := e.Run()
 	return res, rep, err

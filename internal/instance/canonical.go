@@ -1,0 +1,108 @@
+package instance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// This file defines the canonical request encoding that content-addresses a
+// solve request (algorithm, instance, tuple, budget). Two requests share a
+// hash iff they are semantically the same solve, so the encoding must be
+// deterministic: fields are written in a fixed order and floats are
+// normalized (negative zero collapses to zero, values print in exact hex
+// form, budgets ≤ 0 all mean "unconstrained" and encode as 0).
+
+// canonVersion is bumped whenever the canonical encoding changes, so stale
+// hashes from older encodings can never alias new ones.
+const canonVersion = "dftp-request/v1"
+
+// canonFloat formats f for the canonical encoding: exact (hex mantissa, no
+// rounding ambiguity), with -0 normalized to 0 so the two IEEE zeros hash
+// identically.
+func canonFloat(f float64) string {
+	if f == 0 { // catches -0.0 too
+		f = 0
+	}
+	if math.IsNaN(f) {
+		return "nan"
+	}
+	return strconv.FormatFloat(f, 'x', -1, 64)
+}
+
+// appendCanonical writes the instance's canonical encoding: name, source,
+// then the points in stored order. Point order is intentionally significant
+// — robot ids are positional, so reordering points is a different instance.
+func (in *Instance) appendCanonical(w io.Writer) {
+	fmt.Fprintf(w, "name=%q\n", in.Name)
+	fmt.Fprintf(w, "source=%s,%s\n", canonFloat(in.Source.X), canonFloat(in.Source.Y))
+	fmt.Fprintf(w, "points=%d\n", len(in.Points))
+	for _, p := range in.Points {
+		fmt.Fprintf(w, "p=%s,%s\n", canonFloat(p.X), canonFloat(p.Y))
+	}
+}
+
+// HashRequest returns the content-addressed key of a solve request: the
+// SHA-256 (hex) of the canonical encoding of (algorithm, instance, tuple,
+// budget). The tuple is passed as its raw (ℓ, ρ, n) fields so this package
+// does not depend on the algorithm layer. Budgets ≤ 0 are all
+// "unconstrained" and hash identically.
+func HashRequest(algorithm string, in *Instance, ell, rho float64, n int, budget float64) string {
+	if budget <= 0 {
+		budget = 0
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", canonVersion)
+	fmt.Fprintf(h, "alg=%s\n", algorithm)
+	fmt.Fprintf(h, "tuple=%s,%s,%d\n", canonFloat(ell), canonFloat(rho), n)
+	fmt.Fprintf(h, "budget=%s\n", canonFloat(budget))
+	in.appendCanonical(h)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FamilyNames lists the workload families Family accepts.
+func FamilyNames() []string { return []string{"line", "walk", "disk", "grid", "chain"} }
+
+// Family generates an instance from a named workload family, the single
+// source of truth for "family/n/param/seed" requests (cmd/dftp-run and the
+// solver service share it, so equal parameters give equal instances and
+// therefore equal request hashes):
+//
+//	line   n robots spaced param apart on the x-axis
+//	walk   random walk, steps in [param/2, param]
+//	disk   uniform in a disk of radius 10·param
+//	grid   smallest k×k grid with k² ≥ n, spacing param
+//	chain  ⌈n/8⌉+1 clusters of 8, separation 5·param, radius param
+func Family(name string, n int, param float64, seed int64) (*Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("instance: family %q: n must be ≥ 1, got %d", name, n)
+	}
+	if !(param > 0) || math.IsInf(param, 1) { // rejects NaN, ≤ 0, and ±Inf
+		return nil, fmt.Errorf("instance: family %q: param must be a finite positive number, got %g", name, param)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch strings.ToLower(name) {
+	case "line":
+		return Line(n, param), nil
+	case "walk":
+		return RandomWalk(rng, n, param), nil
+	case "disk":
+		return UniformDisk(rng, n, param*10), nil
+	case "grid":
+		k := 1
+		for k*k < n {
+			k++
+		}
+		return GridSwarm(k, param), nil
+	case "chain":
+		return ClusterChain(rng, n/8+1, 8, param*5, param), nil
+	default:
+		return nil, fmt.Errorf("instance: unknown family %q (have %s)",
+			name, strings.Join(FamilyNames(), ", "))
+	}
+}

@@ -32,11 +32,23 @@ func (in *Instance) Params() diskgraph.Params {
 	return diskgraph.ComputeParams(in.Source, in.Points)
 }
 
-// Save writes the instance as JSON to path.
-func (in *Instance) Save(path string) error {
+// MarshalCanonical encodes the instance as indented JSON with deterministic
+// field order (name, source, points — the struct declaration order, which
+// encoding/json preserves). Equal instances always marshal to equal bytes;
+// the canonical request hashes in canonical.go rely on this stability.
+func (in *Instance) MarshalCanonical() ([]byte, error) {
 	data, err := json.MarshalIndent(in, "", "  ")
 	if err != nil {
-		return fmt.Errorf("instance: marshal: %w", err)
+		return nil, fmt.Errorf("instance: marshal: %w", err)
+	}
+	return data, nil
+}
+
+// Save writes the instance as canonical JSON to path.
+func (in *Instance) Save(path string) error {
+	data, err := in.MarshalCanonical()
+	if err != nil {
+		return err
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("instance: write %s: %w", path, err)

@@ -1,0 +1,56 @@
+package service
+
+import (
+	"container/list"
+
+	"freezetag/internal/sim"
+)
+
+// entry is one cached solve: the exact marshaled response bytes (cache hits
+// must be byte-identical to the cold response, so the bytes themselves are
+// what is stored) plus the event trace for GET /v1/trace/{hash}.
+type entry struct {
+	hash   string
+	body   []byte
+	events []sim.Event
+}
+
+// lruCache is a plain LRU over request hashes. It is not safe for
+// concurrent use; the Service serializes access under its mutex.
+type lruCache struct {
+	cap int
+	ll  *list.List // front = most recently used; values are *entry
+	m   map[string]*list.Element
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+func (c *lruCache) get(hash string) (*entry, bool) {
+	el, ok := c.m[hash]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry), true
+}
+
+func (c *lruCache) add(e *entry) {
+	if el, ok := c.m[e.hash]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	c.m[e.hash] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*entry).hash)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

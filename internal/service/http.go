@@ -1,0 +1,183 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"freezetag/internal/trace"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/solve            solve one request (cache-first; X-Cache: hit|miss)
+//	POST /v1/batch            solve many requests, order-preserving reply
+//	GET  /v1/solve/{hash}     cache probe — never computes; 404 on miss
+//	GET  /v1/trace/{hash}     cached event stream as NDJSON; 404 on miss
+//	GET  /healthz             liveness
+//	GET  /statsz              cache/queue/solve counters
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/solve/{hash}", s.handleProbe)
+	mux.HandleFunc("GET /v1/trace/{hash}", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+// decodeStatus maps a request-decode failure: oversized bodies are 413,
+// everything else is 400.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSONError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	w.Write(append(body, '\n'))
+}
+
+// statusFor maps service errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// maxBodyBytes caps request bodies: the bounded queue limits request
+// count, this limits request size, so one oversized payload can't bypass
+// load shedding. 32 MiB comfortably fits six-figure-point inline instances.
+const maxBodyBytes = 32 << 20
+
+// maxBatchItems caps one batch: beyond it a disconnected client could pin
+// the worker pool on abandoned work for a very long time.
+const maxBatchItems = 4096
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSONError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		return
+	}
+	sv, err := s.Solve(req)
+	if err != nil {
+		writeJSONError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if sv.Hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(sv.Body)
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSONError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Requests) > maxBatchItems {
+		writeJSONError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds the %d-item limit", len(req.Requests), maxBatchItems))
+		return
+	}
+	// Fan the batch out over the shared queue; identical items coalesce via
+	// single-flight. Concurrency is bounded by the worker-pool size so a
+	// large batch cannot fill the job queue and shed its own tail (or spawn
+	// unbounded goroutines). Results land at their request's index, so the
+	// reply is order-preserving no matter how the solves interleave.
+	items := make([]BatchItem, len(req.Requests))
+	bound := s.cfg.Workers
+	if bound > s.cfg.QueueDepth {
+		bound = s.cfg.QueueDepth
+	}
+	sem := make(chan struct{}, bound)
+	var wg sync.WaitGroup
+	for i, one := range req.Requests {
+		// Stop fanning out once the client is gone; already-dispatched
+		// items finish (their results are cached for a retry).
+		if err := r.Context().Err(); err != nil {
+			for j := i; j < len(req.Requests); j++ {
+				items[j] = BatchItem{Error: "client disconnected before dispatch"}
+			}
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, one SolveRequest) {
+			defer func() { <-sem; wg.Done() }()
+			sv, err := s.Solve(one)
+			if err != nil {
+				items[i] = BatchItem{Error: err.Error()}
+				return
+			}
+			items[i] = BatchItem{Response: sv.Body}
+		}(i, one)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	body, err := json.Marshal(BatchResponse{Results: items})
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Write(append(body, '\n'))
+}
+
+func (s *Service) handleProbe(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.Probe(r.PathValue("hash"))
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, errors.New("not cached"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "hit")
+	w.Write(body)
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	events, ok := s.TraceEvents(r.PathValue("hash"))
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, errors.New("not cached"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	trace.WriteEventsNDJSON(w, events)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+func (s *Service) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	body, err := json.Marshal(s.Stats())
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Write(append(body, '\n'))
+}

@@ -1,0 +1,328 @@
+// Package service turns the freeze-tag library into a long-running solver
+// daemon: an HTTP/JSON API over a content-addressed result cache and a
+// bounded job queue.
+//
+// Every request is canonically encoded and hashed (internal/instance); the
+// hash keys an in-memory LRU of marshaled responses, so repeated requests —
+// including duplicated and concurrent ones — are idempotent by construction:
+// a cache hit returns bytes identical to the cold solve, concurrent
+// identical requests coalesce into a single simulation (single-flight), and
+// the bounded queue sheds excess load with ErrQueueFull (HTTP 429) instead
+// of collapsing. The simulator is deterministic (PR 1), which is what makes
+// caching sound: the cached result IS the result.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"freezetag/internal/dftp"
+	"freezetag/internal/instance"
+	"freezetag/internal/sim"
+	"freezetag/internal/trace"
+)
+
+// ErrBadRequest tags request-resolution failures (unknown algorithm, bad
+// family, missing instance); the HTTP layer maps it to 400.
+var ErrBadRequest = errors.New("bad request")
+
+// ErrQueueFull is returned when the job queue is at capacity; the HTTP
+// layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("job queue full")
+
+// ErrClosed is returned by Solve after Close.
+var ErrClosed = errors.New("service closed")
+
+// Config sizes a Service. Zero values select the defaults.
+type Config struct {
+	// Workers is the solver pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-unstarted solves
+	// (default 64). A full queue sheds new work with ErrQueueFull.
+	QueueDepth int
+	// CacheSize bounds the result LRU in entries (default 1024).
+	CacheSize int
+	// preSolve, when set (tests only), runs in the worker before each
+	// simulation — used to hold workers and fill the queue.
+	preSolve func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize < 1 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+// Solved is the outcome of a service solve.
+type Solved struct {
+	// Hash is the request's content-addressed key.
+	Hash string
+	// Body is the canonical marshaled SolveResponse. Identical requests
+	// always receive identical bytes, cold or cached.
+	Body []byte
+	// Hit reports whether the solve was served without running a new
+	// simulation (cache hit or coalesced into an in-flight one).
+	Hit bool
+}
+
+// job is one queued simulation.
+type job struct {
+	hash   string
+	alg    dftp.Algorithm
+	inst   *instance.Instance
+	tup    dftp.Tuple
+	budget float64
+	call   *call
+}
+
+// call is a single-flight slot: the first request for a hash creates it,
+// concurrent duplicates wait on done and share the outcome.
+type call struct {
+	done chan struct{}
+	ent  *entry
+	err  error
+}
+
+// Service is the solver daemon core. Create one with New, serve it over
+// HTTP with Handler, and stop it with Close.
+type Service struct {
+	cfg  Config
+	jobs chan *job
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	cache    *lruCache
+	inflight map[string]*call
+	closed   bool
+
+	hits      atomic.Int64
+	coalesced atomic.Int64
+	misses    atomic.Int64
+	shed      atomic.Int64
+	solves    atomic.Int64
+}
+
+// New starts a Service with cfg's worker pool running.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		jobs:     make(chan *job, cfg.QueueDepth),
+		cache:    newLRU(cfg.CacheSize),
+		inflight: make(map[string]*call),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close drains the queue, stops the workers, and fails subsequent Solves
+// with ErrClosed. Queued jobs still complete.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// resolved is a request after validation: concrete algorithm, instance,
+// tuple, budget, and the content hash they determine.
+type resolved struct {
+	hash   string
+	alg    dftp.Algorithm
+	inst   *instance.Instance
+	tup    dftp.Tuple
+	budget float64
+}
+
+// resolve validates req, materializes its instance (inline wins over
+// family), derives the tuple (override or TupleFor), and computes the
+// request hash. All failures wrap ErrBadRequest.
+func resolve(req SolveRequest) (resolved, error) {
+	var r resolved
+	alg, err := AlgorithmByName(req.Algorithm)
+	if err != nil {
+		return r, err
+	}
+	inst := req.Instance
+	if inst == nil {
+		if req.Family == "" {
+			return r, fmt.Errorf("%w: request needs an inline instance or a family", ErrBadRequest)
+		}
+		inst, err = instance.Family(req.Family, req.N, req.Param, req.Seed)
+		if err != nil {
+			return r, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	} else if len(inst.Points) == 0 {
+		return r, fmt.Errorf("%w: inline instance has no points", ErrBadRequest)
+	}
+	var tup dftp.Tuple
+	if req.Tuple != nil {
+		tup = dftp.Tuple{Ell: req.Tuple.Ell, Rho: req.Tuple.Rho, N: req.Tuple.N}
+		if !tup.Admissible() {
+			return r, fmt.Errorf("%w: tuple (ℓ=%g, ρ=%g, n=%d) is not admissible (need 0 < ℓ ≤ ρ ≤ nℓ)",
+				ErrBadRequest, tup.Ell, tup.Rho, tup.N)
+		}
+	} else {
+		tup = dftp.TupleFor(inst)
+	}
+	budget := req.Budget
+	if budget < 0 {
+		budget = 0
+	}
+	r = resolved{
+		hash:   instance.HashRequest(alg.Name(), inst, tup.Ell, tup.Rho, tup.N, budget),
+		alg:    alg,
+		inst:   inst,
+		tup:    tup,
+		budget: budget,
+	}
+	return r, nil
+}
+
+// Solve serves one request: from the cache when possible, by joining an
+// identical in-flight solve otherwise, and by queueing a new simulation as
+// the last resort. It blocks until the result is available. Errors:
+// ErrBadRequest (invalid request), ErrQueueFull (load shed), ErrClosed, or
+// a simulation failure.
+func (s *Service) Solve(req SolveRequest) (Solved, error) {
+	r, err := resolve(req)
+	if err != nil {
+		return Solved{}, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Solved{}, ErrClosed
+	}
+	if e, ok := s.cache.get(r.hash); ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return Solved{Hash: r.hash, Body: e.body, Hit: true}, nil
+	}
+	if c, ok := s.inflight[r.hash]; ok {
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return Solved{}, c.err
+		}
+		// Count only successful coalesces, so hitRate never credits
+		// requests that were actually served an error.
+		s.coalesced.Add(1)
+		return Solved{Hash: r.hash, Body: c.ent.body, Hit: true}, nil
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[r.hash] = c
+	j := &job{hash: r.hash, alg: r.alg, inst: r.inst, tup: r.tup, budget: r.budget, call: c}
+	select {
+	case s.jobs <- j:
+		s.mu.Unlock()
+	default:
+		delete(s.inflight, r.hash)
+		s.mu.Unlock()
+		s.shed.Add(1)
+		return Solved{}, ErrQueueFull
+	}
+	s.misses.Add(1)
+
+	<-c.done
+	if c.err != nil {
+		return Solved{}, c.err
+	}
+	return Solved{Hash: r.hash, Body: c.ent.body, Hit: false}, nil
+}
+
+// worker runs queued simulations, stores the marshaled response in the
+// cache, and releases the single-flight waiters.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		if s.cfg.preSolve != nil {
+			s.cfg.preSolve()
+		}
+		rec := trace.New()
+		res, rep, err := dftp.SolveTraced(j.alg, j.inst, j.tup, j.budget, rec.Record)
+		s.solves.Add(1)
+		var ent *entry
+		if err == nil {
+			var body []byte
+			body, err = json.Marshal(NewSolveResponse(j.hash, j.alg, j.inst, j.tup, j.budget, res, rep))
+			if err == nil {
+				ent = &entry{hash: j.hash, body: body, events: rec.Events()}
+			}
+		}
+		s.mu.Lock()
+		if ent != nil {
+			s.cache.add(ent)
+		}
+		delete(s.inflight, j.hash)
+		s.mu.Unlock()
+		j.call.ent, j.call.err = ent, err
+		close(j.call.done)
+	}
+}
+
+// Probe returns the cached response bytes for a hash, if present. It never
+// triggers a solve.
+func (s *Service) Probe(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cache.get(hash)
+	if !ok {
+		return nil, false
+	}
+	return e.body, true
+}
+
+// TraceEvents returns the cached event stream for a hash, if present.
+func (s *Service) TraceEvents(hash string) ([]sim.Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cache.get(hash)
+	if !ok {
+		return nil, false
+	}
+	return e.events, true
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	cacheLen := s.cache.len()
+	s.mu.Unlock()
+	st := Stats{
+		Hits:          s.hits.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Misses:        s.misses.Load(),
+		Shed:          s.shed.Load(),
+		Solves:        s.solves.Load(),
+		QueueDepth:    len(s.jobs),
+		QueueCapacity: s.cfg.QueueDepth,
+		CacheLen:      cacheLen,
+		CacheCapacity: s.cfg.CacheSize,
+		Workers:       s.cfg.Workers,
+	}
+	if lookups := st.Hits + st.Coalesced + st.Misses; lookups > 0 {
+		st.HitRate = float64(st.Hits+st.Coalesced) / float64(lookups)
+	}
+	return st
+}

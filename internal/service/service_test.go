@@ -1,0 +1,341 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"freezetag/internal/dftp"
+	"freezetag/internal/instance"
+	"freezetag/internal/sim"
+)
+
+// solveDirect runs the resolved request straight through the library
+// facade, bypassing the service.
+func solveDirect(r resolved) (sim.Result, *dftp.Report, error) {
+	return dftp.Solve(r.alg, r.inst, r.tup, r.budget)
+}
+
+func walkRequest(seed int64) SolveRequest {
+	return SolveRequest{Algorithm: "agrid", Family: "walk", N: 24, Param: 0.9, Seed: seed}
+}
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// The acceptance criterion of the PR: serving the same request twice runs
+// exactly one simulation, and the cached bytes are identical to the cold
+// ones.
+func TestSolveCacheByteIdentical(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+
+	cold, err := s.Solve(walkRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Hit {
+		t.Fatal("first solve reported a cache hit")
+	}
+	warm, err := s.Solve(walkRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Hit {
+		t.Fatal("second identical solve missed the cache")
+	}
+	if !bytes.Equal(cold.Body, warm.Body) {
+		t.Fatalf("cached response differs from cold response:\n%s\nvs\n%s", cold.Body, warm.Body)
+	}
+	if warm.Hash != cold.Hash {
+		t.Fatalf("hash changed between identical requests: %s vs %s", cold.Hash, warm.Hash)
+	}
+	if got := s.Stats().Solves; got != 1 {
+		t.Fatalf("two identical requests ran %d simulations, want 1", got)
+	}
+
+	var resp SolveResponse
+	if err := json.Unmarshal(cold.Body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Hash != cold.Hash || !resp.AllAwake || resp.Algorithm != "AGrid" || resp.N != 24 {
+		t.Fatalf("implausible response: %+v", resp)
+	}
+}
+
+// Concurrent identical requests must coalesce into one simulation
+// (single-flight), all receiving identical bytes. Run with -race.
+func TestConcurrentSingleFlight(t *testing.T) {
+	s := newTestService(t, Config{Workers: 4})
+	const goroutines = 32
+
+	bodies := make([][]byte, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			sv, err := s.Solve(walkRequest(2))
+			bodies[i], errs[i] = sv.Body, err
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("goroutine %d got different bytes", i)
+		}
+	}
+	if got := s.Stats().Solves; got != 1 {
+		t.Fatalf("%d concurrent identical requests ran %d simulations, want 1", goroutines, got)
+	}
+}
+
+// Distinct concurrent requests all complete and are each simulated once.
+func TestConcurrentDistinctRequests(t *testing.T) {
+	s := newTestService(t, Config{Workers: 4, QueueDepth: 64})
+	const distinct = 8
+
+	var wg sync.WaitGroup
+	errs := make([]error, distinct*4)
+	wg.Add(len(errs))
+	for i := range errs {
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Solve(walkRequest(int64(i % distinct)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := s.Stats().Solves; got != distinct {
+		t.Fatalf("ran %d simulations for %d distinct requests", got, distinct)
+	}
+}
+
+// A full queue sheds load with ErrQueueFull instead of blocking.
+func TestQueueSheds(t *testing.T) {
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	doRelease := func() { releaseOnce.Do(func() { close(release) }) }
+	started := make(chan struct{}, 64)
+	s := New(Config{Workers: 1, QueueDepth: 1, preSolve: func() {
+		started <- struct{}{}
+		<-release
+	}})
+	defer func() {
+		doRelease()
+		s.Close()
+	}()
+
+	// Occupy the single worker and wait until it is inside the solve...
+	go s.Solve(walkRequest(10))
+	<-started
+	// ...fill the one queue slot and wait until the slot is really taken...
+	go s.Solve(walkRequest(11))
+	for len(s.jobs) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// ...then the next distinct request must shed immediately.
+	if _, err := s.Solve(walkRequest(12)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow request got %v, want ErrQueueFull", err)
+	}
+	if s.Stats().Shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.Stats().Shed)
+	}
+	// After the backlog drains, the shed request succeeds (retry while the
+	// queue is still emptying).
+	doRelease()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := s.Solve(walkRequest(12))
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) || time.Now().After(deadline) {
+			t.Fatalf("post-drain solve: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Inline instances and family parameters that generate the same instance
+// share one cache entry: the key is content, not request shape.
+func TestInlineAndFamilyShareKey(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+
+	gen, err := instance.Family("walk", 24, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFamily, err := s.Solve(walkRequest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline, err := s.Solve(SolveRequest{Algorithm: "agrid", Instance: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inline.Hit || inline.Hash != byFamily.Hash {
+		t.Fatalf("inline equivalent missed the cache: hit=%v %s vs %s", inline.Hit, inline.Hash, byFamily.Hash)
+	}
+	if s.Stats().Solves != 1 {
+		t.Fatalf("ran %d simulations", s.Stats().Solves)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	cases := map[string]SolveRequest{
+		"unknown algorithm": {Algorithm: "dijkstra", Family: "walk", N: 8, Param: 1},
+		"no instance":       {Algorithm: "agrid"},
+		"unknown family":    {Algorithm: "agrid", Family: "torus", N: 8, Param: 1},
+		"bad n":             {Algorithm: "agrid", Family: "walk", N: 0, Param: 1},
+		"empty inline":      {Algorithm: "agrid", Instance: &instance.Instance{Name: "empty"}},
+		"bad tuple": {Algorithm: "agrid", Family: "walk", N: 8, Param: 1,
+			Tuple: &TupleJSON{Ell: -1, Rho: 1, N: 8}},
+	}
+	for name, req := range cases {
+		if _, err := s.Solve(req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: got %v, want ErrBadRequest", name, err)
+		}
+	}
+	if s.Stats().Solves != 0 {
+		t.Fatalf("bad requests ran %d simulations", s.Stats().Solves)
+	}
+}
+
+func TestAlgorithmAliasesShareKey(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	a, err := s.Solve(walkRequest(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := walkRequest(5)
+	req.Algorithm = "Grid"
+	b, err := s.Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Hit || a.Hash != b.Hash {
+		t.Fatalf("alias missed the cache: %s vs %s", a.Hash, b.Hash)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, CacheSize: 2})
+	h := make([]string, 3)
+	for i := range h {
+		sv, err := s.Solve(walkRequest(int64(100 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h[i] = sv.Hash
+	}
+	if _, ok := s.Probe(h[0]); ok {
+		t.Fatal("oldest entry not evicted at capacity 2")
+	}
+	if _, ok := s.Probe(h[2]); !ok {
+		t.Fatal("newest entry missing")
+	}
+	if got := s.Stats().CacheLen; got != 2 {
+		t.Fatalf("cache len %d, want 2", got)
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	s := New(Config{Workers: 1})
+	if _, err := s.Solve(walkRequest(7)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Solve(walkRequest(8)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Solve(walkRequest(40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Solves != 1 {
+		t.Fatalf("stats = %+v, want 1 miss / 2 hits / 1 solve", st)
+	}
+	if want := 2.0 / 3.0; st.HitRate < want-1e-9 || st.HitRate > want+1e-9 {
+		t.Fatalf("hit rate %v, want %v", st.HitRate, want)
+	}
+	if st.Workers != 2 || st.QueueCapacity != 64 || st.CacheCapacity != 1024 {
+		t.Fatalf("config echo wrong: %+v", st)
+	}
+}
+
+func TestTraceEventsCached(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	sv, err := s.Solve(walkRequest(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, ok := s.TraceEvents(sv.Hash)
+	if !ok || len(events) == 0 {
+		t.Fatalf("no trace cached for %s", sv.Hash)
+	}
+	wakes := 0
+	for _, ev := range events {
+		if ev.Kind == "wake" {
+			wakes++
+		}
+	}
+	if wakes != 24 {
+		t.Fatalf("trace has %d wake events for n=24", wakes)
+	}
+	if _, ok := s.TraceEvents("deadbeef"); ok {
+		t.Fatal("trace probe hit for unknown hash")
+	}
+}
+
+func TestResponseMatchesDirectSolve(t *testing.T) {
+	// The served numbers must equal a direct library solve of the same
+	// resolved request — the service adds caching, never semantics.
+	s := newTestService(t, Config{Workers: 1})
+	sv, err := s.Solve(walkRequest(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(sv.Body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	r, err := resolve(walkRequest(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := solveDirect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Makespan != res.Makespan || resp.TotalEnergy != res.TotalEnergy || resp.Rounds != rep.Rounds {
+		t.Fatalf("served %+v != direct (makespan=%v energy=%v rounds=%d)",
+			resp, res.Makespan, res.TotalEnergy, rep.Rounds)
+	}
+	if resp.Awakened != 24 {
+		t.Fatalf("awakened = %d", resp.Awakened)
+	}
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"freezetag/internal/dftp"
+	"freezetag/internal/instance"
+	"freezetag/internal/sim"
+)
+
+// SolveRequest is the wire form of one solve. The instance comes either
+// inline (Instance) or generated from a workload family (Family/N/Param/
+// Seed); an inline instance wins when both are present. The tuple defaults
+// to dftp.TupleFor(instance) and can be overridden. Requests with the same
+// canonical content hash to the same key regardless of how the instance was
+// supplied.
+type SolveRequest struct {
+	Algorithm string             `json:"algorithm"`
+	Instance  *instance.Instance `json:"instance,omitempty"`
+	Family    string             `json:"family,omitempty"`
+	N         int                `json:"n,omitempty"`
+	Param     float64            `json:"param,omitempty"`
+	Seed      int64              `json:"seed,omitempty"`
+	Tuple     *TupleJSON         `json:"tuple,omitempty"`
+	Budget    float64            `json:"budget,omitempty"`
+}
+
+// TupleJSON is the wire form of the (ℓ, ρ, n) knowledge tuple.
+type TupleJSON struct {
+	Ell float64 `json:"ell"`
+	Rho float64 `json:"rho"`
+	N   int     `json:"n"`
+}
+
+// SolveResponse is the wire form of one solve result. It is shared by
+// POST /v1/solve and `dftp-run -json`, so command-line and served results
+// are machine-comparable field for field.
+type SolveResponse struct {
+	Hash        string    `json:"hash"`
+	Algorithm   string    `json:"algorithm"`
+	Instance    string    `json:"instance"`
+	N           int       `json:"n"`
+	Tuple       TupleJSON `json:"tuple"`
+	Budget      float64   `json:"budget"`
+	Makespan    float64   `json:"makespan"`
+	Duration    float64   `json:"duration"`
+	AllAwake    bool      `json:"allAwake"`
+	Awakened    int       `json:"awakened"`
+	MaxEnergy   float64   `json:"maxEnergy"`
+	TotalEnergy float64   `json:"totalEnergy"`
+	Rounds      int       `json:"rounds"`
+	Misses      []string  `json:"misses,omitempty"`
+	Violations  []string  `json:"violations,omitempty"`
+}
+
+// NewSolveResponse assembles the shared response struct from a solve's
+// inputs and outputs. Budgets ≤ 0 are canonicalized to 0 (unconstrained),
+// matching the request hash.
+func NewSolveResponse(hash string, alg dftp.Algorithm, in *instance.Instance, tup dftp.Tuple, budget float64, res sim.Result, rep *dftp.Report) SolveResponse {
+	if budget <= 0 {
+		budget = 0
+	}
+	return SolveResponse{
+		Hash:        hash,
+		Algorithm:   alg.Name(),
+		Instance:    in.Name,
+		N:           in.N(),
+		Tuple:       TupleJSON{Ell: tup.Ell, Rho: tup.Rho, N: tup.N},
+		Budget:      budget,
+		Makespan:    res.Makespan,
+		Duration:    res.Duration,
+		AllAwake:    res.AllAwake,
+		Awakened:    res.Awakened,
+		MaxEnergy:   res.MaxEnergy,
+		TotalEnergy: res.TotalEnergy,
+		Rounds:      rep.Rounds,
+		Misses:      rep.Misses,
+		Violations:  res.Violations,
+	}
+}
+
+// BatchRequest is the wire form of POST /v1/batch.
+type BatchRequest struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchItem is one slot of a batch response, in request order: either the
+// solve response or an error string (e.g. a shed request under load).
+type BatchItem struct {
+	Response json.RawMessage `json:"response,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// BatchResponse is the wire form of the POST /v1/batch reply. Results[i]
+// always corresponds to Requests[i].
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	Hits          int64   `json:"hits"`      // served from the result cache
+	Coalesced     int64   `json:"coalesced"` // joined an identical in-flight solve
+	Misses        int64   `json:"misses"`    // initiated a simulation
+	Shed          int64   `json:"shed"`      // rejected with queue-full (HTTP 429)
+	Solves        int64   `json:"solves"`    // simulations actually run
+	HitRate       float64 `json:"hitRate"`   // (hits+coalesced) / (hits+coalesced+misses)
+	QueueDepth    int     `json:"queueDepth"`
+	QueueCapacity int     `json:"queueCapacity"`
+	CacheLen      int     `json:"cacheLen"`
+	CacheCapacity int     `json:"cacheCapacity"`
+	Workers       int     `json:"workers"`
+}
+
+// AlgorithmByName resolves the wire name of an algorithm (case-insensitive;
+// the "a" prefix is optional: "agrid" and "grid" are the same).
+func AlgorithmByName(name string) (dftp.Algorithm, error) {
+	switch canonAlgName(name) {
+	case "aseparator":
+		return dftp.ASeparator{}, nil
+	case "agrid":
+		return dftp.AGrid{}, nil
+	case "awave":
+		return dftp.AWave{}, nil
+	case "aseparatorauto":
+		return dftp.ASeparatorAuto{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %q (have aseparator, agrid, awave, aseparatorauto)", ErrBadRequest, name)
+	}
+}
+
+// canonAlgName lowercases and restores the "a" prefix, so "grid", "Grid",
+// and "agrid" all canonicalize — and therefore hash — identically.
+func canonAlgName(name string) string {
+	n := strings.ToLower(name)
+	switch n {
+	case "separator", "grid", "wave", "separatorauto":
+		return "a" + n
+	}
+	return n
+}
