@@ -23,6 +23,7 @@ import (
 	"freezetag/internal/explore"
 	"freezetag/internal/geom"
 	"freezetag/internal/instance"
+	"freezetag/internal/portfolio"
 	"freezetag/internal/report"
 	"freezetag/internal/service"
 	"freezetag/internal/sim"
@@ -231,6 +232,73 @@ func BenchmarkExplore_PlanRect(b *testing.B) {
 	}
 }
 
+// --- Portfolio racing ---------------------------------------------------------
+
+// benchPortfolioInstance is the fixed instance the portfolio benchmarks
+// race on.
+func benchPortfolioInstance() *instance.Instance {
+	return instance.RandomWalk(rand.New(rand.NewSource(8)), 32, 0.9)
+}
+
+func benchPortfolioAlgs() []dftp.Algorithm {
+	return []dftp.Algorithm{dftp.ASeparator{}, dftp.AGrid{}, dftp.AWave{}, dftp.ASeparatorAuto{}}
+}
+
+// BenchmarkPortfolio_Race runs the full four-entrant min-makespan race per
+// iteration; compare with _BestFixed (the single algorithm the race ends up
+// picking — the price of not knowing the winner a priori) and
+// _FirstUnderCancel (the early-stop objective, which cancels the losers).
+func BenchmarkPortfolio_Race(b *testing.B) {
+	in := benchPortfolioInstance()
+	tup := dftp.TupleFor(in)
+	pf := portfolio.Portfolio{Algorithms: benchPortfolioAlgs(), Objective: portfolio.MinMakespan{}}
+	var mk float64
+	for i := 0; i < b.N; i++ {
+		res, err := portfolio.Race(pf, in, tup, 0, portfolio.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mk = res.Res.Makespan
+	}
+	b.ReportMetric(mk, "makespan")
+}
+
+// BenchmarkPortfolio_BestFixed is the oracle baseline: solve only with the
+// algorithm the race would declare the winner.
+func BenchmarkPortfolio_BestFixed(b *testing.B) {
+	in := benchPortfolioInstance()
+	tup := dftp.TupleFor(in)
+	pf := portfolio.Portfolio{Algorithms: benchPortfolioAlgs(), Objective: portfolio.MinMakespan{}}
+	res, err := portfolio.Race(pf, in, tup, 0, portfolio.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	best := pf.Algorithms[res.Winner]
+	b.ResetTimer()
+	benchAlgorithm(b, best, in)
+}
+
+// BenchmarkPortfolio_FirstUnderCancel races with a first-under-budget
+// target the first entrant meets, so the remaining racers are cancelled —
+// the early-stop speed win over the full race.
+func BenchmarkPortfolio_FirstUnderCancel(b *testing.B) {
+	in := benchPortfolioInstance()
+	tup := dftp.TupleFor(in)
+	pf := portfolio.Portfolio{Algorithms: benchPortfolioAlgs(), Objective: portfolio.FirstUnder{MaxMakespan: 1e9}}
+	var cancelled int
+	for i := 0; i < b.N; i++ {
+		res, err := portfolio.Race(pf, in, tup, 0, portfolio.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Satisfied {
+			b.Fatal("target not met")
+		}
+		cancelled = res.Cancelled
+	}
+	b.ReportMetric(float64(cancelled), "cancelled")
+}
+
 // --- Solver service -----------------------------------------------------------
 
 // serviceSolveRequest is the fixed request the service benchmarks use.
@@ -243,7 +311,7 @@ func serviceSolveRequest(seed int64) service.SolveRequest {
 // simulates. The cold/cached pair is the baseline later caching PRs compare
 // against.
 func BenchmarkService_SolveCold(b *testing.B) {
-	s := service.New(service.Config{QueueDepth: 1, CacheSize: 1})
+	s := service.New(service.Config{QueueDepth: 1, CacheBytes: 1})
 	defer s.Close()
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -1,16 +1,22 @@
 // Command dftp-run solves one dFTP instance with one of the paper's
-// algorithms and prints the run metrics.
+// algorithms — or races several of them as a portfolio — and prints the run
+// metrics.
 //
 // Usage:
 //
-//	dftp-run -alg aseparator|agrid|awave|aseparatorauto [-instance file.json]
-//	         [-family line|walk|disk|grid|chain] [-n 32] [-param 1.0]
-//	         [-budget 0] [-seed 1] [-trace out.csv] [-json]
+//	dftp-run -alg aseparator|agrid|awave|aseparatorauto|portfolio
+//	         [-algs aseparator,agrid,...] [-objective min-makespan]
+//	         [-instance file.json] [-family line|walk|disk|grid|chain]
+//	         [-n 32] [-param 1.0] [-budget 0] [-seed 1]
+//	         [-trace out.csv] [-json]
 //
-// Without -instance, an instance is generated from -family/-n/-param.
-// With -json, the result is printed as the solver service's SolveResponse
-// (one compact JSON object) — byte-comparable with a POST /v1/solve reply
-// for the same request.
+// Without -instance, an instance is generated from -family/-n/-param. With
+// -alg portfolio, the -algs entrants race concurrently under -objective
+// ("min-makespan", "min-energy", "weighted:0.7,0.3",
+// "first-under-budget:makespan=120,energy=50") and the winning schedule is
+// reported with per-racer stats. With -json, the result is printed as the
+// solver service's SolveResponse (or PortfolioResponse) — byte-comparable
+// with a POST /v1/solve (or /v1/portfolio) reply for the same request.
 package main
 
 import (
@@ -18,9 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"freezetag/internal/dftp"
 	"freezetag/internal/instance"
+	"freezetag/internal/portfolio"
 	"freezetag/internal/service"
 	"freezetag/internal/sim"
 	"freezetag/internal/trace"
@@ -35,22 +43,20 @@ func main() {
 
 func run() error {
 	var (
-		algName  = flag.String("alg", "aseparator", "algorithm: aseparator, agrid, awave, aseparatorauto")
+		algName  = flag.String("alg", "aseparator", "algorithm: aseparator, agrid, awave, aseparatorauto, portfolio")
+		algsList = flag.String("algs", "aseparator,agrid,awave,aseparatorauto", "portfolio entrants, in priority order (with -alg portfolio)")
+		objName  = flag.String("objective", "min-makespan", "portfolio objective (with -alg portfolio)")
 		instPath = flag.String("instance", "", "instance JSON file (overrides -family)")
 		family   = flag.String("family", "walk", "generated family: line, walk, disk, grid, chain")
 		n        = flag.Int("n", 32, "number of robots for generated instances")
 		param    = flag.Float64("param", 1.0, "family parameter (spacing / step / radius)")
 		budget   = flag.Float64("budget", 0, "per-robot energy budget (0 = unconstrained)")
-		seed     = flag.Int64("seed", 1, "random seed for generated instances")
+		seed     = flag.Int64("seed", 1, "random seed for generated instances (and the portfolio's racer streams)")
 		traceOut = flag.String("trace", "", "write the event trace as CSV to this file")
-		jsonOut  = flag.Bool("json", false, "print the result as the service's SolveResponse JSON")
+		jsonOut  = flag.Bool("json", false, "print the result as the service's response JSON")
 	)
 	flag.Parse()
 
-	alg, err := service.AlgorithmByName(*algName)
-	if err != nil {
-		return err
-	}
 	inst, err := loadOrGenerate(*instPath, *family, *n, *param, *seed)
 	if err != nil {
 		return err
@@ -63,6 +69,14 @@ func run() error {
 			p.Ell, p.Rho, p.Xi, tup.Ell, tup.Rho, tup.N)
 	}
 
+	if strings.EqualFold(*algName, "portfolio") {
+		return runPortfolio(*algsList, *objName, inst, tup, *budget, *seed, *traceOut, *jsonOut)
+	}
+
+	alg, err := service.AlgorithmByName(*algName)
+	if err != nil {
+		return err
+	}
 	// Only pay for event recording when the trace is actually wanted.
 	var rec *trace.Recorder
 	var traceFn func(sim.Event)
@@ -84,26 +98,11 @@ func run() error {
 		fmt.Println(string(body))
 	} else {
 		fmt.Printf("algorithm: %s\n", alg.Name())
-		fmt.Printf("makespan:  %.4f\n", res.Makespan)
-		fmt.Printf("duration:  %.4f\n", res.Duration)
-		fmt.Printf("awakened:  %d/%d (all awake: %v)\n", res.Awakened, inst.N(), res.AllAwake)
-		fmt.Printf("energy:    max=%.4f total=%.4f\n", res.MaxEnergy, res.TotalEnergy)
-		fmt.Printf("rounds:    %d\n", rep.Rounds)
-		if len(rep.Misses) > 0 {
-			fmt.Printf("schedule misses: %d (first: %s)\n", len(rep.Misses), rep.Misses[0])
-		}
-		if len(res.Violations) > 0 {
-			fmt.Printf("budget violations: %d (first: %s)\n", len(res.Violations), res.Violations[0])
-		}
+		printRun(res, rep, inst.N())
 	}
 
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return fmt.Errorf("trace file: %w", err)
-		}
-		defer f.Close()
-		if err := rec.WriteCSV(f); err != nil {
+		if err := writeTraceCSV(*traceOut, rec); err != nil {
 			return err
 		}
 		if !*jsonOut {
@@ -114,6 +113,97 @@ func run() error {
 		return fmt.Errorf("run left %d robots asleep", inst.N()-res.Awakened)
 	}
 	return nil
+}
+
+// runPortfolio races the -algs entrants and reports the winner.
+func runPortfolio(algsList, objName string, inst *instance.Instance, tup dftp.Tuple,
+	budget float64, seed int64, traceOut string, jsonOut bool) error {
+	var algs []dftp.Algorithm
+	for _, name := range strings.Split(algsList, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		alg, err := service.AlgorithmByName(name)
+		if err != nil {
+			return err
+		}
+		algs = append(algs, alg)
+	}
+	obj, err := portfolio.ParseObjective(objName)
+	if err != nil {
+		return err
+	}
+	pf := portfolio.Portfolio{Algorithms: algs, Objective: obj, Seed: seed}
+	res, err := portfolio.Race(pf, inst, tup, budget, portfolio.Options{Trace: traceOut != ""})
+	if err != nil {
+		return fmt.Errorf("race: %w", err)
+	}
+
+	if jsonOut {
+		hash := instance.HashRequest(pf.Name(), inst, tup.Ell, tup.Rho, tup.N, budget)
+		body, err := json.Marshal(service.NewPortfolioResponse(hash, pf, inst, tup, budget, res))
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(body))
+	} else {
+		fmt.Printf("portfolio: %s\n", pf.Name())
+		fmt.Printf("winner:    %s (racer %d, satisfied=%v, %d cancelled)\n",
+			res.Racers[res.Winner].Algorithm, res.Winner, res.Satisfied, res.Cancelled)
+		for _, rr := range res.Racers {
+			switch rr.Status {
+			case portfolio.StatusWon, portfolio.StatusCompleted:
+				fmt.Printf("  racer %d %-14s %-9s makespan=%.4f maxEnergy=%.4f score=%.4f\n",
+					rr.Index, rr.Algorithm, rr.Status, rr.Makespan, rr.MaxEnergy, rr.Score)
+			case portfolio.StatusError:
+				fmt.Printf("  racer %d %-14s %-9s %s\n", rr.Index, rr.Algorithm, rr.Status, rr.Err)
+			default:
+				fmt.Printf("  racer %d %-14s %-9s\n", rr.Index, rr.Algorithm, rr.Status)
+			}
+		}
+		printRun(res.Res, res.Rep, inst.N())
+	}
+
+	if traceOut != "" {
+		rec := trace.New()
+		for _, ev := range res.Events {
+			rec.Record(ev)
+		}
+		if err := writeTraceCSV(traceOut, rec); err != nil {
+			return err
+		}
+		if !jsonOut {
+			fmt.Printf("trace:     %d events (winner) -> %s\n", rec.Len(), traceOut)
+		}
+	}
+	if !res.Res.AllAwake {
+		return fmt.Errorf("winning run left %d robots asleep", inst.N()-res.Res.Awakened)
+	}
+	return nil
+}
+
+// printRun prints the shared result block of a single run.
+func printRun(res sim.Result, rep *dftp.Report, n int) {
+	fmt.Printf("makespan:  %.4f\n", res.Makespan)
+	fmt.Printf("duration:  %.4f\n", res.Duration)
+	fmt.Printf("awakened:  %d/%d (all awake: %v)\n", res.Awakened, n, res.AllAwake)
+	fmt.Printf("energy:    max=%.4f total=%.4f\n", res.MaxEnergy, res.TotalEnergy)
+	fmt.Printf("rounds:    %d\n", rep.Rounds)
+	if len(rep.Misses) > 0 {
+		fmt.Printf("schedule misses: %d (first: %s)\n", len(rep.Misses), rep.Misses[0])
+	}
+	if len(res.Violations) > 0 {
+		fmt.Printf("budget violations: %d (first: %s)\n", len(res.Violations), res.Violations[0])
+	}
+}
+
+func writeTraceCSV(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace file: %w", err)
+	}
+	defer f.Close()
+	return rec.WriteCSV(f)
 }
 
 func loadOrGenerate(path, family string, n int, param float64, seed int64) (*instance.Instance, error) {

@@ -4,16 +4,17 @@
 //
 // Usage:
 //
-//	dftp-serve [-addr :8080] [-workers 0] [-queue 64] [-cache 1024]
+//	dftp-serve [-addr :8080] [-workers 0] [-queue 64] [-cache-mb 64] [-traces]
 //
 // Endpoints:
 //
 //	POST /v1/solve         one solve (inline instance or family/n/param/seed)
+//	POST /v1/portfolio     race several algorithms, return the winner
 //	POST /v1/batch         many solves, order-preserving response
 //	GET  /v1/solve/{hash}  cache probe (404 on miss, never computes)
 //	GET  /v1/trace/{hash}  cached event stream as NDJSON
 //	GET  /healthz          liveness
-//	GET  /statsz           cache hit rate, queue depth, solves served
+//	GET  /statsz           cache hit rate, queue depth, solves/races served
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests
 // complete, the queue drains, then the process exits.
@@ -45,11 +46,17 @@ func run() error {
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 64, "job queue depth (full queue sheds with 429)")
-		cache   = flag.Int("cache", 1024, "result cache capacity in entries")
+		cacheMB = flag.Int64("cache-mb", 64, "result cache budget in MiB (approximate retained bytes: responses + traces)")
+		traces  = flag.Bool("traces", true, "retain per-solve event traces for GET /v1/trace/{hash} (disable to cache responses only)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheMB << 20,
+		DropTraces: !*traces,
+	})
 	defer svc.Close()
 
 	srv := &http.Server{
@@ -64,8 +71,8 @@ func run() error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	st := svc.Stats()
-	fmt.Printf("dftp-serve: listening on %s (workers=%d queue=%d cache=%d)\n",
-		*addr, st.Workers, st.QueueCapacity, st.CacheCapacity)
+	fmt.Printf("dftp-serve: listening on %s (workers=%d queue=%d cache=%dMiB traces=%v)\n",
+		*addr, st.Workers, st.QueueCapacity, st.CacheCapacity>>20, st.TracesRetained)
 
 	select {
 	case err := <-errCh:

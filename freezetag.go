@@ -34,6 +34,7 @@ import (
 	"freezetag/internal/dftp"
 	"freezetag/internal/geom"
 	"freezetag/internal/instance"
+	"freezetag/internal/portfolio"
 	"freezetag/internal/sim"
 )
 
@@ -85,6 +86,37 @@ var (
 // Runs are deterministic: identical inputs give identical results.
 func Solve(alg Algorithm, in *Instance, tup Tuple, budget float64) (Result, *Report, error) {
 	return dftp.Solve(alg, in, tup, budget)
+}
+
+// Portfolio is the racing meta-algorithm: an ordered list of entrant
+// algorithms plus an Objective. SolvePortfolio races the entrants
+// concurrently on one instance and returns the best schedule; see
+// internal/portfolio for the determinism contract (same portfolio, same
+// instance ⇒ identical winner and stats at any worker count).
+type Portfolio = portfolio.Portfolio
+
+// Objective judges a portfolio race; build one with ParseObjective or use
+// the types of internal/portfolio directly.
+type Objective = portfolio.Objective
+
+// PortfolioResult is the outcome of a race: the winner's full result plus
+// deterministic per-racer stats.
+type PortfolioResult = portfolio.Result
+
+// ParseObjective builds an Objective from its CLI/wire spelling:
+// "min-makespan", "min-energy", "weighted:0.7,0.3",
+// "first-under-budget:makespan=120,energy=50". The empty string means
+// min-makespan.
+func ParseObjective(s string) (Objective, error) { return portfolio.ParseObjective(s) }
+
+// SolvePortfolio races every algorithm of p concurrently on the instance
+// with the given per-robot energy budget and returns the winner under p's
+// objective. When a racer meets a first-under-budget target, every entrant
+// behind it in portfolio order is cancelled mid-simulation; entrants ahead
+// of it still run to completion (any of them may supersede it), so put the
+// cheapest likely-satisfying algorithms first.
+func SolvePortfolio(p Portfolio, in *Instance, tup Tuple, budget float64) (*PortfolioResult, error) {
+	return portfolio.Race(p, in, tup, budget, portfolio.Options{})
 }
 
 // HashRequest returns the content-addressed key of a solve request: the

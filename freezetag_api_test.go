@@ -86,6 +86,35 @@ func TestPublicAPIBudget(t *testing.T) {
 	}
 }
 
+func TestPublicAPISolvePortfolio(t *testing.T) {
+	swarm := freezetag.RandomWalk(rand.New(rand.NewSource(3)), 24, 0.9)
+	tup := freezetag.TupleFor(swarm)
+	obj, err := freezetag.ParseObjective("min-makespan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := freezetag.Portfolio{
+		Algorithms: []freezetag.Algorithm{freezetag.ASeparator, freezetag.AGrid},
+		Objective:  obj,
+	}
+	res, err := freezetag.SolvePortfolio(p, swarm, tup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Res.AllAwake {
+		t.Fatal("portfolio winner left robots asleep")
+	}
+	if len(res.Racers) != 2 || res.Winner < 0 || res.Winner > 1 {
+		t.Fatalf("racer stats: %+v", res.Racers)
+	}
+	// The winner must be at least as good as every completed racer.
+	for _, rr := range res.Racers {
+		if rr.Status == "completed" && rr.Makespan < res.Res.Makespan {
+			t.Fatalf("racer %+v beats the declared winner", rr)
+		}
+	}
+}
+
 func TestPublicAPIHashRequest(t *testing.T) {
 	in := freezetag.Line(10, 1)
 	tup := freezetag.TupleFor(in)

@@ -17,6 +17,7 @@
 package dftp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -102,9 +103,18 @@ func Solve(alg Algorithm, inst *instance.Instance, tup Tuple, budget float64) (s
 // stream — cmd/dftp-run and the solver service — without reaching into the
 // engine themselves. Tracing never changes the result.
 func SolveTraced(alg Algorithm, inst *instance.Instance, tup Tuple, budget float64, traceFn func(sim.Event)) (sim.Result, *Report, error) {
+	return SolveCtx(context.Background(), alg, inst, tup, budget, traceFn)
+}
+
+// SolveCtx is SolveTraced with cooperative cancellation: cancelling ctx
+// abandons the simulation at the next event dispatch and returns the partial
+// result with an error wrapping sim.ErrCancelled and ctx.Err(). It is the
+// entry point of the portfolio racing engine, which cancels losing racers
+// once a winner is decided. A nil or background context behaves like Solve.
+func SolveCtx(ctx context.Context, alg Algorithm, inst *instance.Instance, tup Tuple, budget float64, traceFn func(sim.Event)) (sim.Result, *Report, error) {
 	e := sim.NewEngine(sim.Config{Source: inst.Source, Sleepers: inst.Points, Budget: budget, Trace: traceFn})
 	rep := alg.Install(e, tup)
-	res, err := e.Run()
+	res, err := e.RunCtx(ctx)
 	return res, rep, err
 }
 

@@ -144,6 +144,21 @@ func TestL5DFSampling(t *testing.T) {
 	checkTable(t, tb, "recruit target", "duration")
 }
 
+func TestP1Portfolio(t *testing.T) {
+	tb, err := NewRunner().P1Portfolio(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "portfolio", "winner", "portfolio/best")
+	// The point of the portfolio: the winning algorithm changes across
+	// families (the generator itself fails any row where the portfolio does
+	// not match the best fixed algorithm).
+	s := tb.String()
+	if !strings.Contains(s, "ASeparator") || !strings.Contains(s, "AWave") {
+		t.Errorf("no complementarity visible:\n%s", s)
+	}
+}
+
 func TestXiSanity(t *testing.T) {
 	tb, err := NewRunner().XiSanity()
 	if err != nil {

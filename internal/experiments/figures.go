@@ -358,6 +358,7 @@ func (r *Runner) All(scale Scale) ([]*report.Table, error) {
 		{"E7", r.E7Crossover},
 		{"F1", r.F1Phases}, {"F4", r.F4Explore}, {"F5", r.F5Construction},
 		{"L2", r.L2WakeTree}, {"L5", r.L5DFSampling},
+		{"P1", r.P1Portfolio},
 	}
 	var out []*report.Table
 	for _, g := range gens {

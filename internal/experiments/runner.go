@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"freezetag/internal/report"
+	"freezetag/internal/rngstream"
 )
 
 // Runner fans experiment trials out over a fixed-size worker pool. Every
@@ -78,15 +79,10 @@ type Trial struct {
 type Row []interface{}
 
 // TrialSeed derives the RNG seed of trial i from the sweep seed with a
-// splitmix64 finalizer. Streams are decided by (seed, i) alone —
-// independent of worker count and execution order — which is what makes
-// parallel sweeps bit-identical to serial ones.
-func TrialSeed(seed int64, i int) int64 {
-	z := uint64(seed) + 0x9E3779B97F4A7C15*(uint64(i)+1)
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return int64(z ^ (z >> 31))
-}
+// splitmix64 finalizer (see internal/rngstream, the shared scheme). Streams
+// are decided by (seed, i) alone — independent of worker count and execution
+// order — which is what makes parallel sweeps bit-identical to serial ones.
+func TrialSeed(seed int64, i int) int64 { return rngstream.TrialSeed(seed, i) }
 
 func (r *Runner) trial(i int) *Trial {
 	return &Trial{Index: i, RNG: rand.New(rand.NewSource(TrialSeed(r.seed, i)))}

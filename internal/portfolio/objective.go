@@ -1,0 +1,224 @@
+package portfolio
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"freezetag/internal/sim"
+)
+
+// Objective judges a race: it ranks completed runs and, for early-stop
+// objectives, decides when a run is good enough to end the race before the
+// remaining racers finish.
+type Objective interface {
+	// Name is the canonical descriptor of the objective (all spellings
+	// ParseObjective accepts for the same objective produce one Name). It is
+	// part of the portfolio's content hash, so equal objectives must produce
+	// equal names.
+	Name() string
+	// Score is the scalar the portfolio minimizes when picking the winner
+	// (lower is better). Runs that wake every robot always beat runs that do
+	// not, regardless of score.
+	Score(res sim.Result) float64
+	// Accept reports whether res meets the objective's early-stop target.
+	// The lowest-indexed accepting racer wins and every racer behind it is
+	// cancelled; objectives with no early-stop target always return false.
+	Accept(res sim.Result) bool
+}
+
+// MinMakespan picks the completed run with the smallest makespan.
+type MinMakespan struct{}
+
+// Name implements Objective.
+func (MinMakespan) Name() string { return "min-makespan" }
+
+// Score implements Objective.
+func (MinMakespan) Score(res sim.Result) float64 { return res.Makespan }
+
+// Accept implements Objective: never early-stops.
+func (MinMakespan) Accept(sim.Result) bool { return false }
+
+// MinEnergy picks the completed run with the smallest per-robot peak energy.
+type MinEnergy struct{}
+
+// Name implements Objective.
+func (MinEnergy) Name() string { return "min-energy" }
+
+// Score implements Objective.
+func (MinEnergy) Score(res sim.Result) float64 { return res.MaxEnergy }
+
+// Accept implements Objective: never early-stops.
+func (MinEnergy) Accept(sim.Result) bool { return false }
+
+// Weighted blends makespan and peak energy: score = WMakespan·makespan +
+// WEnergy·maxEnergy. Weights must be non-negative and not both zero.
+type Weighted struct {
+	WMakespan float64
+	WEnergy   float64
+}
+
+// Name implements Objective.
+func (w Weighted) Name() string {
+	return fmt.Sprintf("weighted(%s,%s)", canonNum(w.WMakespan), canonNum(w.WEnergy))
+}
+
+// Score implements Objective.
+func (w Weighted) Score(res sim.Result) float64 {
+	return w.WMakespan*res.Makespan + w.WEnergy*res.MaxEnergy
+}
+
+// Accept implements Objective: never early-stops.
+func (Weighted) Accept(sim.Result) bool { return false }
+
+// FirstUnder is the early-stop objective: the first racer (in portfolio
+// order) whose completed run wakes every robot within the given caps wins
+// immediately and the racers behind it are cancelled — the speed win of the
+// portfolio. A cap ≤ 0 leaves that axis unconstrained; at least one cap must
+// be set. When no racer meets the caps, the race degrades to min-makespan
+// over the completed runs and the result is marked unsatisfied.
+type FirstUnder struct {
+	MaxMakespan float64
+	MaxEnergy   float64
+}
+
+// Name implements Objective.
+func (f FirstUnder) Name() string {
+	return fmt.Sprintf("first-under(%s,%s)", canonNum(f.MaxMakespan), canonNum(f.MaxEnergy))
+}
+
+// Score implements Objective: the fallback rank when no racer satisfies.
+func (FirstUnder) Score(res sim.Result) float64 { return res.Makespan }
+
+// Accept implements Objective.
+func (f FirstUnder) Accept(res sim.Result) bool {
+	if !res.AllAwake {
+		return false
+	}
+	if f.MaxMakespan > 0 && res.Makespan > f.MaxMakespan {
+		return false
+	}
+	if f.MaxEnergy > 0 && res.MaxEnergy > f.MaxEnergy {
+		return false
+	}
+	return true
+}
+
+// validate rejects objectives whose parameters make the race meaningless.
+// Non-finite parameters are rejected outright: a NaN cap is never exceeded
+// by a comparison, so it would silently disable the budget it claims to
+// enforce, and NaN/Inf weights make every score comparison false (the race
+// would always pick entrant 0).
+func validate(obj Objective) error {
+	finite := func(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+	switch o := obj.(type) {
+	case Weighted:
+		if !finite(o.WMakespan) || !finite(o.WEnergy) {
+			return fmt.Errorf("portfolio: weighted objective needs finite weights, got (%g, %g)",
+				o.WMakespan, o.WEnergy)
+		}
+		if o.WMakespan < 0 || o.WEnergy < 0 || (o.WMakespan == 0 && o.WEnergy == 0) {
+			return fmt.Errorf("portfolio: weighted objective needs non-negative weights, not both zero (got %g, %g)",
+				o.WMakespan, o.WEnergy)
+		}
+	case FirstUnder:
+		if !finite(o.MaxMakespan) || !finite(o.MaxEnergy) {
+			return fmt.Errorf("portfolio: first-under-budget objective needs finite caps, got (%g, %g)",
+				o.MaxMakespan, o.MaxEnergy)
+		}
+		if o.MaxMakespan <= 0 && o.MaxEnergy <= 0 {
+			return fmt.Errorf("portfolio: first-under-budget objective needs a makespan or energy cap")
+		}
+	}
+	return nil
+}
+
+// canonNum prints a float in shortest-round-trip form: deterministic and
+// injective, so distinct parameters give distinct canonical names.
+func canonNum(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ObjectiveNames lists the objective spellings ParseObjective accepts.
+func ObjectiveNames() []string {
+	return []string{"min-makespan", "min-energy", "weighted:WM,WE",
+		"first-under-budget:makespan=M[,energy=E]"}
+}
+
+// ParseObjective builds an Objective from its wire/CLI spelling:
+//
+//	min-makespan                               (alias: makespan)
+//	min-energy                                 (alias: energy)
+//	weighted:0.7,0.3                           (makespan weight, energy weight;
+//	                                            bare "weighted" means 0.5,0.5)
+//	first-under-budget:makespan=120,energy=50  (either cap optional, not both;
+//	                                            alias: first-under)
+//
+// The empty string means min-makespan. Spellings of the same objective parse
+// to the same canonical Name, so they hash — and cache — identically.
+func ParseObjective(s string) (Objective, error) {
+	name, arg, hasArg := strings.Cut(strings.TrimSpace(s), ":")
+	name = strings.ToLower(strings.TrimSpace(name))
+	bad := func(format string, args ...interface{}) (Objective, error) {
+		return nil, fmt.Errorf("portfolio: objective %q: %s (have %s)",
+			s, fmt.Sprintf(format, args...), strings.Join(ObjectiveNames(), ", "))
+	}
+	switch name {
+	case "", "min-makespan", "makespan":
+		if hasArg {
+			return bad("takes no parameters")
+		}
+		return MinMakespan{}, nil
+	case "min-energy", "energy":
+		if hasArg {
+			return bad("takes no parameters")
+		}
+		return MinEnergy{}, nil
+	case "weighted", "blend":
+		w := Weighted{WMakespan: 0.5, WEnergy: 0.5}
+		if hasArg {
+			wm, we, ok := strings.Cut(arg, ",")
+			if !ok {
+				return bad("needs two comma-separated weights")
+			}
+			var err1, err2 error
+			w.WMakespan, err1 = strconv.ParseFloat(strings.TrimSpace(wm), 64)
+			w.WEnergy, err2 = strconv.ParseFloat(strings.TrimSpace(we), 64)
+			if err1 != nil || err2 != nil {
+				return bad("bad weights %q", arg)
+			}
+		}
+		if err := validate(w); err != nil {
+			return nil, err
+		}
+		return w, nil
+	case "first-under-budget", "first-under":
+		var f FirstUnder
+		if !hasArg {
+			return bad("needs makespan= and/or energy= caps")
+		}
+		for _, kv := range strings.Split(arg, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return bad("bad cap %q", kv)
+			}
+			val, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return bad("bad cap %q", kv)
+			}
+			switch strings.ToLower(strings.TrimSpace(k)) {
+			case "makespan", "mk":
+				f.MaxMakespan = val
+			case "energy", "en":
+				f.MaxEnergy = val
+			default:
+				return bad("unknown cap %q", k)
+			}
+		}
+		if err := validate(f); err != nil {
+			return nil, err
+		}
+		return f, nil
+	default:
+		return bad("unknown objective")
+	}
+}

@@ -1,0 +1,359 @@
+// Package portfolio is the racing engine: it runs several dFTP algorithms
+// concurrently on one instance and returns the best schedule under a
+// pluggable Objective. The paper's algorithms trade makespan against energy
+// differently per instance family (separator waves win on clustered swarms,
+// greedy grids win on dense disks), so no single algorithm dominates; racing
+// them exploits that complementarity, and for early-stop objectives
+// (FirstUnder) the engine cancels losing racers mid-simulation via
+// context-based cancellation (sim.RunCtx), so a portfolio can finish as soon
+// as any entrant produces a good-enough schedule.
+//
+// Results are deterministic by construction, exactly like the experiment
+// engine this package borrows its machinery from: every racer gets a private
+// RNG stream derived from the portfolio seed and its index (the splitmix64
+// scheme of internal/rngstream), the winner is decided by portfolio order
+// and deterministic simulation results — never by wall-clock arrival — and
+// scheduling-dependent observations (which racers were actually aborted
+// mid-run) are kept out of the reported racer stats. Same portfolio, same
+// instance, same seed ⇒ identical winner and identical stats at any worker
+// count, which is what makes portfolio responses content-addressable and
+// cacheable by the solver service.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"freezetag/internal/dftp"
+	"freezetag/internal/instance"
+	"freezetag/internal/rngstream"
+	"freezetag/internal/sim"
+	"freezetag/internal/trace"
+)
+
+// Portfolio is the meta-algorithm: an ordered list of entrant algorithms
+// plus the objective that judges them. Order is significant — it is the
+// deterministic tie-break, and for early-stop objectives the priority: the
+// lowest-indexed racer meeting the target wins even if a later racer
+// happened to finish first on the wall clock.
+type Portfolio struct {
+	// Algorithms are the entrants, in priority order. At least one.
+	Algorithms []dftp.Algorithm
+	// Objective judges the race; nil means MinMakespan.
+	Objective Objective
+	// Seed derives the racers' private RNG streams: racer i owns the stream
+	// rngstream.New(Seed, i), reported as RacerResult.Seed. The paper's four
+	// algorithms are deterministic and draw nothing from their streams, but
+	// the streams are part of each racer's identity — and of the portfolio's
+	// content hash — so randomized entrants can join later without breaking
+	// the schedule-independence contract.
+	Seed int64
+}
+
+// objective returns the configured objective, defaulting to MinMakespan.
+func (p Portfolio) objective() Objective {
+	if p.Objective == nil {
+		return MinMakespan{}
+	}
+	return p.Objective
+}
+
+// Name returns the canonical descriptor of the portfolio — the string that
+// takes the algorithm's place in the solve-request content hash. Entrant
+// order, objective, and seed are all part of it.
+func (p Portfolio) Name() string {
+	names := make([]string, len(p.Algorithms))
+	for i, a := range p.Algorithms {
+		names[i] = a.Name()
+	}
+	return fmt.Sprintf("portfolio[%s;obj=%s;seed=%d]",
+		strings.Join(names, ","), p.objective().Name(), p.Seed)
+}
+
+// Status classifies a racer's outcome in the reported stats.
+type Status string
+
+// Racer statuses. Cancelled covers every racer behind the winner of an
+// early-stop race, whether it was skipped before starting, aborted
+// mid-simulation, or had already finished when the winner was decided — the
+// distinction depends on scheduling, so the stats do not make it.
+const (
+	StatusWon       Status = "won"
+	StatusCompleted Status = "completed"
+	StatusCancelled Status = "cancelled"
+	StatusError     Status = "error"
+)
+
+// RacerResult is one entrant's deterministic outcome. Metrics are only
+// present for Won/Completed racers; Cancelled racers report identity alone.
+type RacerResult struct {
+	Index     int
+	Algorithm string
+	// Seed is the racer's private RNG-stream seed.
+	Seed   int64
+	Status Status
+	// Satisfied reports whether the run met the objective's early-stop
+	// target (always false for objectives without one).
+	Satisfied   bool
+	Makespan    float64
+	Duration    float64
+	MaxEnergy   float64
+	TotalEnergy float64
+	AllAwake    bool
+	Awakened    int
+	Rounds      int
+	Score       float64
+	Err         string
+}
+
+// Result is the outcome of a race.
+type Result struct {
+	// Winner indexes Racers; the winning racer has StatusWon.
+	Winner int
+	// Satisfied reports whether the winner met the objective's early-stop
+	// target (relevant for FirstUnder; false means the race fell back to the
+	// objective's score over all completed runs).
+	Satisfied bool
+	// Cancelled counts racers with StatusCancelled. Deterministic.
+	Cancelled int
+	// Racers holds one deterministic entry per entrant, in portfolio order.
+	Racers []RacerResult
+	// Res and Rep are the winning run's full simulation result and report.
+	Res sim.Result
+	Rep *dftp.Report
+	// Events is the winning run's event trace (only when Options.Trace).
+	Events []sim.Event
+
+	// Aborted counts racers whose simulation was actually skipped or stopped
+	// mid-run. It depends on scheduling — unlike Cancelled, it MUST NOT be
+	// serialized into cacheable responses; it exists for diagnostics and for
+	// tests that assert cancellation really happens.
+	Aborted int
+}
+
+// Options tune a race without changing its outcome.
+type Options struct {
+	// Workers bounds the racing pool (default GOMAXPROCS, clamped to the
+	// number of entrants). Any value produces identical results.
+	Workers int
+	// Trace records the winning run's event stream into Result.Events.
+	Trace bool
+}
+
+// racerRun is one racer's raw, possibly scheduling-dependent outcome before
+// the deterministic normalization pass.
+type racerRun struct {
+	res      sim.Result
+	rep      *dftp.Report
+	err      error
+	accepted bool
+	aborted  bool // skipped or ctx-stopped; scheduling-dependent
+}
+
+// control coordinates early stopping: best is the lowest accepted index so
+// far, and accepting racer i cancels every racer behind it. Racers ahead of
+// i keep running — one of them may still accept and supersede i.
+type control struct {
+	mu      sync.Mutex
+	best    int
+	cancels []context.CancelFunc
+}
+
+func (c *control) accepted(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.best >= 0 && c.best <= i {
+		return
+	}
+	c.best = i
+	for j := i + 1; j < len(c.cancels); j++ {
+		c.cancels[j]()
+	}
+}
+
+// doomed reports whether racer i can no longer win (a lower index accepted).
+func (c *control) doomed(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.best >= 0 && c.best < i
+}
+
+// Race runs every entrant of p on the instance concurrently and returns the
+// winner under p's objective. The budget is the usual per-robot energy
+// budget (≤ 0 unconstrained), applied to every racer.
+func Race(p Portfolio, inst *instance.Instance, tup dftp.Tuple, budget float64, opts Options) (*Result, error) {
+	if len(p.Algorithms) == 0 {
+		return nil, errors.New("portfolio: no algorithms to race")
+	}
+	obj := p.objective()
+	if err := validate(obj); err != nil {
+		return nil, err
+	}
+
+	k := len(p.Algorithms)
+	ctl := &control{best: -1, cancels: make([]context.CancelFunc, k)}
+	ctxs := make([]context.Context, k)
+	for i := range ctxs {
+		ctxs[i], ctl.cancels[i] = context.WithCancel(context.Background())
+	}
+	defer func() {
+		for _, cancel := range ctl.cancels {
+			cancel()
+		}
+	}()
+
+	// Fan the racers out over a bounded pool — the experiment engine's
+	// worker-pool shape, with the same splitmix64 per-index RNG streams.
+	runs := make([]racerRun, k)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runs[i] = runRacer(p, obj, inst, tup, budget, i, ctxs[i], ctl)
+			}
+		}()
+	}
+	for i := 0; i < k; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	out, err := assemble(p, obj, runs)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Trace {
+		// Racers run untraced (recording k streams to keep one would hold
+		// k traces in memory); the simulator is deterministic, so
+		// re-solving the winner with a recorder reproduces the winning run
+		// exactly, at the cost of one extra simulation per traced race.
+		rec := trace.New()
+		if _, _, err := dftp.SolveTraced(p.Algorithms[out.Winner], inst, tup, budget, rec.Record); err != nil {
+			return nil, fmt.Errorf("portfolio: re-tracing the winner: %w", err)
+		}
+		out.Events = rec.Events()
+	}
+	return out, nil
+}
+
+// runRacer executes entrant i unless the race is already decided against it.
+func runRacer(p Portfolio, obj Objective, inst *instance.Instance, tup dftp.Tuple, budget float64,
+	i int, ctx context.Context, ctl *control) racerRun {
+	if ctl.doomed(i) {
+		return racerRun{aborted: true}
+	}
+	res, rep, err := dftp.SolveCtx(ctx, p.Algorithms[i], inst, tup, budget, nil)
+	if ctx.Err() != nil {
+		// Aborted mid-run: the result is partial and scheduling-dependent —
+		// discard everything but the fact of the abort.
+		return racerRun{aborted: true}
+	}
+	if err != nil {
+		return racerRun{err: err}
+	}
+	run := racerRun{res: res, rep: rep, accepted: obj.Accept(res)}
+	if run.accepted {
+		ctl.accepted(i)
+	}
+	return run
+}
+
+// assemble normalizes the raw runs into a deterministic Result. The winner
+// is decided by portfolio order and simulation content only: the lowest
+// accepted index if any racer met the early-stop target, otherwise the best
+// score among completed runs (complete wake-ups first, then score, then
+// index). Every racer behind an early-stop winner reports StatusCancelled
+// with no metrics, whether or not it happened to finish — its outcome is
+// unknowable in general (it may have been stopped mid-run), so reporting it
+// would make the response depend on scheduling.
+func assemble(p Portfolio, obj Objective, runs []racerRun) (*Result, error) {
+	out := &Result{Winner: -1}
+	for i, run := range runs {
+		if run.aborted {
+			out.Aborted++
+		}
+		if run.accepted && out.Winner < 0 {
+			out.Winner = i
+			out.Satisfied = true
+		}
+	}
+	if out.Winner < 0 {
+		// No early stop: every racer ran to completion (or errored)
+		// deterministically; pick the best completed run.
+		for i, run := range runs {
+			if run.err != nil || run.aborted {
+				continue
+			}
+			if out.Winner < 0 || better(obj, run.res, runs[out.Winner].res) {
+				out.Winner = i
+			}
+		}
+	}
+	if out.Winner < 0 {
+		errs := make([]string, 0, len(runs))
+		for i, run := range runs {
+			if run.err != nil {
+				errs = append(errs, fmt.Sprintf("%s: %v", p.Algorithms[i].Name(), run.err))
+			}
+		}
+		return nil, fmt.Errorf("portfolio: every racer failed: %s", strings.Join(errs, "; "))
+	}
+
+	win := runs[out.Winner]
+	out.Res, out.Rep = win.res, win.rep
+	out.Racers = make([]RacerResult, len(runs))
+	for i, run := range runs {
+		rr := RacerResult{Index: i, Algorithm: p.Algorithms[i].Name(), Seed: rngstream.TrialSeed(p.Seed, i)}
+		switch {
+		case i == out.Winner:
+			rr.Status = StatusWon
+		case out.Satisfied && i > out.Winner:
+			rr.Status = StatusCancelled
+		case run.err != nil:
+			rr.Status = StatusError
+			rr.Err = run.err.Error()
+		default:
+			rr.Status = StatusCompleted
+		}
+		if rr.Status == StatusWon || rr.Status == StatusCompleted {
+			rr.Satisfied = run.accepted
+			rr.Makespan = run.res.Makespan
+			rr.Duration = run.res.Duration
+			rr.MaxEnergy = run.res.MaxEnergy
+			rr.TotalEnergy = run.res.TotalEnergy
+			rr.AllAwake = run.res.AllAwake
+			rr.Awakened = run.res.Awakened
+			rr.Rounds = run.rep.Rounds
+			rr.Score = obj.Score(run.res)
+		}
+		if rr.Status == StatusCancelled {
+			out.Cancelled++
+		}
+		out.Racers[i] = rr
+	}
+	return out, nil
+}
+
+// better reports whether a beats b under obj: complete wake-ups first, then
+// lower score; the caller's index order breaks exact ties.
+func better(obj Objective, a, b sim.Result) bool {
+	if a.AllAwake != b.AllAwake {
+		return a.AllAwake
+	}
+	return obj.Score(a) < obj.Score(b)
+}

@@ -1,0 +1,25 @@
+// Package rngstream derives independent deterministic RNG streams from a
+// single sweep seed. It is the randomness contract shared by the parallel
+// experiment engine (internal/experiments) and the portfolio racing engine
+// (internal/portfolio): every unit of concurrent work draws only from its
+// private stream, decided by (seed, index) alone, so results never depend on
+// worker count or execution order.
+package rngstream
+
+import "math/rand"
+
+// TrialSeed derives the RNG seed of stream i from the sweep seed with a
+// splitmix64 finalizer. Streams are decided by (seed, i) alone — independent
+// of worker count and execution order — which is what makes parallel fan-out
+// bit-identical to serial execution.
+func TrialSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*(uint64(i)+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// New returns stream i of the sweep seed as a ready-to-use *rand.Rand.
+func New(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(TrialSeed(seed, i)))
+}

@@ -2,55 +2,112 @@ package service
 
 import (
 	"container/list"
+	"unsafe"
 
 	"freezetag/internal/sim"
 )
 
 // entry is one cached solve: the exact marshaled response bytes (cache hits
 // must be byte-identical to the cold response, so the bytes themselves are
-// what is stored) plus the event trace for GET /v1/trace/{hash}.
+// what is stored) plus the event trace for GET /v1/trace/{hash} (empty when
+// trace retention is disabled) and the entry's approximate retained bytes.
 type entry struct {
 	hash   string
 	body   []byte
 	events []sim.Event
+	size   int64
 }
 
-// lruCache is a plain LRU over request hashes. It is not safe for
-// concurrent use; the Service serializes access under its mutex.
-type lruCache struct {
-	cap int
-	ll  *list.List // front = most recently used; values are *entry
-	m   map[string]*list.Element
+// entryOverhead approximates per-entry bookkeeping outside the payload:
+// list element, map bucket share, entry struct, slice headers.
+const entryOverhead = 256
+
+// sized computes and stores the entry's approximate retained bytes: body +
+// hash + trace + bookkeeping. Event payloads are the struct plus its string
+// fields; this is an estimate (the cache bound is approximate by contract),
+// but it scales with exactly the quantities that made the old entry-count
+// bound unbounded in practice: response size and trace length.
+func (e *entry) sized() *entry {
+	size := int64(len(e.body)+len(e.hash)) + entryOverhead
+	size += int64(len(e.events)) * int64(unsafe.Sizeof(sim.Event{}))
+	for _, ev := range e.events {
+		size += int64(len(ev.Kind) + len(ev.Extra))
+	}
+	e.size = size
+	return e
 }
 
-func newLRU(capacity int) *lruCache {
+// lru is the move-to-front / evict-from-back core shared by the result
+// cache and the shape memo; sizeOf decides the unit the capacity bounds
+// (retained bytes for the result cache, entries for the memo). One element
+// is always admitted even if it alone exceeds the capacity (the alternative
+// — a cache that silently never stores — would disable idempotent replies
+// entirely). Not safe for concurrent use; the Service serializes access
+// under its mutex.
+type lru[V any] struct {
+	capacity int64
+	total    int64
+	sizeOf   func(V) int64
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
+}
+
+type lruNode[V any] struct {
+	key string
+	val V
+}
+
+func newCache[V any](capacity int64, sizeOf func(V) int64) *lru[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+	return &lru[V]{capacity: capacity, sizeOf: sizeOf, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-func (c *lruCache) get(hash string) (*entry, bool) {
-	el, ok := c.m[hash]
+func (c *lru[V]) get(key string) (V, bool) {
+	el, ok := c.m[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*entry), true
+	return el.Value.(*lruNode[V]).val, true
 }
 
-func (c *lruCache) add(e *entry) {
-	if el, ok := c.m[e.hash]; ok {
+func (c *lru[V]) add(key string, val V) {
+	if el, ok := c.m[key]; ok {
+		node := el.Value.(*lruNode[V])
+		c.total += c.sizeOf(val) - c.sizeOf(node.val)
+		node.val = val
 		c.ll.MoveToFront(el)
-		el.Value = e
-		return
+	} else {
+		c.m[key] = c.ll.PushFront(&lruNode[V]{key: key, val: val})
+		c.total += c.sizeOf(val)
 	}
-	c.m[e.hash] = c.ll.PushFront(e)
-	for c.ll.Len() > c.cap {
+	for c.total > c.capacity && c.ll.Len() > 1 {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*entry).hash)
+		node := oldest.Value.(*lruNode[V])
+		delete(c.m, node.key)
+		c.total -= c.sizeOf(node.val)
 	}
 }
 
-func (c *lruCache) len() int { return c.ll.Len() }
+func (c *lru[V]) len() int { return c.ll.Len() }
+
+// newLRU builds the result cache: an LRU over request hashes bounded by
+// approximate retained bytes, not entry count — a handful of huge traced
+// responses and thousands of small ones are both held to one memory budget.
+func newLRU(capBytes int64) *lru[*entry] {
+	return newCache(capBytes, func(e *entry) int64 { return e.size })
+}
+
+// newMemoLRU builds the request-shape → hash memo: family-generated
+// requests are keyed by their scalar parameters, so a repeat of a known
+// shape finds its content hash — and therefore its cached result — without
+// re-generating the instance and re-hashing its points (the old hit path
+// was O(n) in instance size). Entry-count bounded: entries are two short
+// strings.
+func newMemoLRU(capacity int) *lru[string] {
+	return newCache(int64(capacity), func(string) int64 { return 1 })
+}

@@ -13,14 +13,16 @@ import (
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/solve            solve one request (cache-first; X-Cache: hit|miss)
+//	POST /v1/portfolio        race several algorithms, return the winner (cache-first)
 //	POST /v1/batch            solve many requests, order-preserving reply
 //	GET  /v1/solve/{hash}     cache probe — never computes; 404 on miss
 //	GET  /v1/trace/{hash}     cached event stream as NDJSON; 404 on miss
 //	GET  /healthz             liveness
-//	GET  /statsz              cache/queue/solve counters
+//	GET  /statsz              cache/queue/solve/race counters
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/portfolio", s.handlePortfolio)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/solve/{hash}", s.handleProbe)
 	mux.HandleFunc("GET /v1/trace/{hash}", s.handleTrace)
@@ -79,6 +81,22 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sv, err := s.Solve(req)
+	writeSolved(w, sv, err)
+}
+
+func (s *Service) handlePortfolio(w http.ResponseWriter, r *http.Request) {
+	var req PortfolioRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSONError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		return
+	}
+	sv, err := s.SolvePortfolio(req)
+	writeSolved(w, sv, err)
+}
+
+// writeSolved renders a Solve/SolvePortfolio outcome: the cached-or-cold
+// canonical bytes with the X-Cache verdict, or the mapped error.
+func writeSolved(w http.ResponseWriter, sv Solved, err error) {
 	if err != nil {
 		writeJSONError(w, statusFor(err), err)
 		return
@@ -158,6 +176,10 @@ func (s *Service) handleProbe(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.TracesRetained() {
+		writeJSONError(w, http.StatusNotFound, errors.New("trace retention disabled (serve with -traces)"))
+		return
+	}
 	events, ok := s.TraceEvents(r.PathValue("hash"))
 	if !ok {
 		writeJSONError(w, http.StatusNotFound, errors.New("not cached"))

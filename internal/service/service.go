@@ -9,19 +9,24 @@
 // identical requests coalesce into a single simulation (single-flight), and
 // the bounded queue sheds excess load with ErrQueueFull (HTTP 429) instead
 // of collapsing. The simulator is deterministic (PR 1), which is what makes
-// caching sound: the cached result IS the result.
+// caching sound: the cached result IS the result — and the portfolio racing
+// engine (PR 3) keeps its responses deterministic too, so whole races cache
+// the same way single solves do.
 package service
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"freezetag/internal/dftp"
 	"freezetag/internal/instance"
+	"freezetag/internal/portfolio"
 	"freezetag/internal/sim"
 	"freezetag/internal/trace"
 )
@@ -39,13 +44,24 @@ var ErrClosed = errors.New("service closed")
 
 // Config sizes a Service. Zero values select the defaults.
 type Config struct {
-	// Workers is the solver pool size (default GOMAXPROCS).
+	// Workers is the solver pool size (default GOMAXPROCS). It also bounds
+	// each portfolio race's internal racing pool.
 	Workers int
 	// QueueDepth bounds the number of queued-but-unstarted solves
 	// (default 64). A full queue sheds new work with ErrQueueFull.
 	QueueDepth int
-	// CacheSize bounds the result LRU in entries (default 1024).
-	CacheSize int
+	// CacheBytes bounds the result cache by approximate retained bytes —
+	// marshaled response + event trace + bookkeeping — rather than entry
+	// count, so varied workloads with huge traces and tiny ones share one
+	// memory budget (default 64 MiB).
+	CacheBytes int64
+	// DropTraces disables per-entry event-trace retention: simulations run
+	// untraced, cache entries hold only the marshaled response, and
+	// GET /v1/trace/{hash} reports traces disabled.
+	DropTraces bool
+	// memoSize bounds the request-shape → hash memo in entries (default
+	// 4096; entries are two short strings).
+	memoSize int
 	// preSolve, when set (tests only), runs in the worker before each
 	// simulation — used to hold workers and fill the queue.
 	preSolve func()
@@ -58,8 +74,11 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth < 1 {
 		c.QueueDepth = 64
 	}
-	if c.CacheSize < 1 {
-		c.CacheSize = 1024
+	if c.CacheBytes < 1 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.memoSize < 1 {
+		c.memoSize = 4096
 	}
 	return c
 }
@@ -68,22 +87,20 @@ func (c Config) withDefaults() Config {
 type Solved struct {
 	// Hash is the request's content-addressed key.
 	Hash string
-	// Body is the canonical marshaled SolveResponse. Identical requests
-	// always receive identical bytes, cold or cached.
+	// Body is the canonical marshaled SolveResponse (or PortfolioResponse).
+	// Identical requests always receive identical bytes, cold or cached.
 	Body []byte
 	// Hit reports whether the solve was served without running a new
 	// simulation (cache hit or coalesced into an in-flight one).
 	Hit bool
 }
 
-// job is one queued simulation.
+// job is one queued unit of work: a simulation or a whole portfolio race,
+// closed over by run.
 type job struct {
-	hash   string
-	alg    dftp.Algorithm
-	inst   *instance.Instance
-	tup    dftp.Tuple
-	budget float64
-	call   *call
+	hash string
+	call *call
+	run  func() (*entry, error)
 }
 
 // call is a single-flight slot: the first request for a hash creates it,
@@ -102,15 +119,19 @@ type Service struct {
 	wg   sync.WaitGroup
 
 	mu       sync.Mutex
-	cache    *lruCache
+	cache    *lru[*entry]
+	shapes   *lru[string]
 	inflight map[string]*call
 	closed   bool
 
-	hits      atomic.Int64
-	coalesced atomic.Int64
-	misses    atomic.Int64
-	shed      atomic.Int64
-	solves    atomic.Int64
+	hits            atomic.Int64
+	coalesced       atomic.Int64
+	misses          atomic.Int64
+	shed            atomic.Int64
+	solves          atomic.Int64
+	races           atomic.Int64
+	racersCancelled atomic.Int64
+	memoHits        atomic.Int64
 }
 
 // New starts a Service with cfg's worker pool running.
@@ -119,7 +140,8 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:      cfg,
 		jobs:     make(chan *job, cfg.QueueDepth),
-		cache:    newLRU(cfg.CacheSize),
+		cache:    newLRU(cfg.CacheBytes),
+		shapes:   newMemoLRU(cfg.memoSize),
 		inflight: make(map[string]*call),
 	}
 	s.wg.Add(cfg.Workers)
@@ -143,8 +165,61 @@ func (s *Service) Close() {
 	s.wg.Wait()
 }
 
-// resolved is a request after validation: concrete algorithm, instance,
-// tuple, budget, and the content hash they determine.
+// resolveInstance materializes the instance/tuple/budget half of a request
+// (shared by solve and portfolio requests): inline instance wins over
+// family, the tuple defaults to dftp.TupleFor(instance), budgets ≤ 0
+// collapse to 0. All failures wrap ErrBadRequest.
+func resolveInstance(inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64) (*instance.Instance, dftp.Tuple, float64, error) {
+	var tup dftp.Tuple
+	inst := inline
+	if inst == nil {
+		if family == "" {
+			return nil, tup, 0, fmt.Errorf("%w: request needs an inline instance or a family", ErrBadRequest)
+		}
+		var err error
+		inst, err = instance.Family(family, n, param, seed)
+		if err != nil {
+			return nil, tup, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	} else if len(inst.Points) == 0 {
+		return nil, tup, 0, fmt.Errorf("%w: inline instance has no points", ErrBadRequest)
+	}
+	if tupJSON != nil {
+		tup = dftp.Tuple{Ell: tupJSON.Ell, Rho: tupJSON.Rho, N: tupJSON.N}
+		if !tup.Admissible() {
+			return nil, tup, 0, fmt.Errorf("%w: tuple (ℓ=%g, ρ=%g, n=%d) is not admissible (need 0 < ℓ ≤ ρ ≤ nℓ)",
+				ErrBadRequest, tup.Ell, tup.Rho, tup.N)
+		}
+	} else {
+		tup = dftp.TupleFor(inst)
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	return inst, tup, budget, nil
+}
+
+// shapeKey is the memo key of a family-generated request: every scalar that
+// determines the content hash, without materializing the instance. Inline
+// instances are not memoized (their hash already requires walking the
+// points, so there is nothing to save).
+func shapeKey(solverName string, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64) (string, bool) {
+	if inline != nil || family == "" {
+		return "", false
+	}
+	if budget <= 0 {
+		budget = 0
+	}
+	key := fmt.Sprintf("%s|%s|%d|%x|%d|%x", solverName, strings.ToLower(family), n,
+		math.Float64bits(param), seed, math.Float64bits(budget))
+	if tupJSON != nil {
+		key += fmt.Sprintf("|t%x,%x,%d", math.Float64bits(tupJSON.Ell), math.Float64bits(tupJSON.Rho), tupJSON.N)
+	}
+	return key, true
+}
+
+// resolved is a solve request after validation: concrete algorithm,
+// instance, tuple, budget, and the content hash they determine.
 type resolved struct {
 	hash   string
 	alg    dftp.Algorithm
@@ -153,49 +228,81 @@ type resolved struct {
 	budget float64
 }
 
-// resolve validates req, materializes its instance (inline wins over
-// family), derives the tuple (override or TupleFor), and computes the
-// request hash. All failures wrap ErrBadRequest.
-func resolve(req SolveRequest) (resolved, error) {
+// resolve materializes the instance of req for the given (already
+// validated) algorithm, derives the tuple, and computes the request hash.
+// All failures wrap ErrBadRequest.
+func resolve(alg dftp.Algorithm, req SolveRequest) (resolved, error) {
 	var r resolved
-	alg, err := AlgorithmByName(req.Algorithm)
+	inst, tup, budget, err := resolveInstance(req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
 	if err != nil {
 		return r, err
 	}
-	inst := req.Instance
-	if inst == nil {
-		if req.Family == "" {
-			return r, fmt.Errorf("%w: request needs an inline instance or a family", ErrBadRequest)
-		}
-		inst, err = instance.Family(req.Family, req.N, req.Param, req.Seed)
-		if err != nil {
-			return r, fmt.Errorf("%w: %v", ErrBadRequest, err)
-		}
-	} else if len(inst.Points) == 0 {
-		return r, fmt.Errorf("%w: inline instance has no points", ErrBadRequest)
-	}
-	var tup dftp.Tuple
-	if req.Tuple != nil {
-		tup = dftp.Tuple{Ell: req.Tuple.Ell, Rho: req.Tuple.Rho, N: req.Tuple.N}
-		if !tup.Admissible() {
-			return r, fmt.Errorf("%w: tuple (ℓ=%g, ρ=%g, n=%d) is not admissible (need 0 < ℓ ≤ ρ ≤ nℓ)",
-				ErrBadRequest, tup.Ell, tup.Rho, tup.N)
-		}
-	} else {
-		tup = dftp.TupleFor(inst)
-	}
-	budget := req.Budget
-	if budget < 0 {
-		budget = 0
-	}
-	r = resolved{
+	return resolved{
 		hash:   instance.HashRequest(alg.Name(), inst, tup.Ell, tup.Rho, tup.N, budget),
 		alg:    alg,
 		inst:   inst,
 		tup:    tup,
 		budget: budget,
+	}, nil
+}
+
+// resolvedPortfolio is a portfolio request after validation.
+type resolvedPortfolio struct {
+	hash   string
+	pf     portfolio.Portfolio
+	inst   *instance.Instance
+	tup    dftp.Tuple
+	budget float64
+}
+
+// maxPortfolioAlgorithms caps one race's entrant list (duplicates are legal
+// but each entrant is a full simulation): without it a single small request
+// could queue unbounded work in one worker slot, the same hole
+// maxBatchItems closes for /v1/batch.
+const maxPortfolioAlgorithms = 16
+
+// portfolioFor validates the algorithms/objective/seed half of a portfolio
+// request. It is cheap (no instance generation), so the memo fast path can
+// call it to derive the canonical descriptor.
+func portfolioFor(req PortfolioRequest) (portfolio.Portfolio, error) {
+	var pf portfolio.Portfolio
+	if len(req.Algorithms) == 0 {
+		return pf, fmt.Errorf("%w: portfolio needs at least one algorithm", ErrBadRequest)
 	}
-	return r, nil
+	if len(req.Algorithms) > maxPortfolioAlgorithms {
+		return pf, fmt.Errorf("%w: portfolio of %d algorithms exceeds the %d-entrant limit",
+			ErrBadRequest, len(req.Algorithms), maxPortfolioAlgorithms)
+	}
+	algs := make([]dftp.Algorithm, len(req.Algorithms))
+	for i, name := range req.Algorithms {
+		alg, err := AlgorithmByName(name)
+		if err != nil {
+			return pf, err
+		}
+		algs[i] = alg
+	}
+	obj, err := portfolio.ParseObjective(req.Objective)
+	if err != nil {
+		return pf, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return portfolio.Portfolio{Algorithms: algs, Objective: obj, Seed: req.Seed}, nil
+}
+
+// resolvePortfolio materializes the instance of req for the given (already
+// validated) portfolio and computes the request hash.
+func resolvePortfolio(pf portfolio.Portfolio, req PortfolioRequest) (resolvedPortfolio, error) {
+	var r resolvedPortfolio
+	inst, tup, budget, err := resolveInstance(req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	if err != nil {
+		return r, err
+	}
+	return resolvedPortfolio{
+		hash:   instance.HashRequest(pf.Name(), inst, tup.Ell, tup.Rho, tup.N, budget),
+		pf:     pf,
+		inst:   inst,
+		tup:    tup,
+		budget: budget,
+	}, nil
 }
 
 // Solve serves one request: from the cache when possible, by joining an
@@ -204,22 +311,140 @@ func resolve(req SolveRequest) (resolved, error) {
 // ErrBadRequest (invalid request), ErrQueueFull (load shed), ErrClosed, or
 // a simulation failure.
 func (s *Service) Solve(req SolveRequest) (Solved, error) {
-	r, err := resolve(req)
+	// Memo fast path: a family request whose shape was seen before finds
+	// its hash — and with luck its cached bytes — without re-generating the
+	// instance and re-hashing its points.
+	alg, err := AlgorithmByName(req.Algorithm)
 	if err != nil {
 		return Solved{}, err
 	}
+	key, keyed := shapeKey(alg.Name(), req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	if keyed {
+		if sv, handled, err := s.memoLookup(key); handled {
+			return sv, err
+		}
+	}
+	r, err := resolve(alg, req)
+	if err != nil {
+		return Solved{}, err
+	}
+	run := func() (*entry, error) {
+		var rec *trace.Recorder
+		var traceFn func(sim.Event)
+		if !s.cfg.DropTraces {
+			rec = trace.New()
+			traceFn = rec.Record
+		}
+		res, rep, err := dftp.SolveTraced(r.alg, r.inst, r.tup, r.budget, traceFn)
+		s.solves.Add(1)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(NewSolveResponse(r.hash, r.alg, r.inst, r.tup, r.budget, res, rep))
+		if err != nil {
+			return nil, err
+		}
+		ent := &entry{hash: r.hash, body: body}
+		if rec != nil {
+			ent.events = rec.Events()
+		}
+		return ent.sized(), nil
+	}
+	return s.startOrJoin(r.hash, key, run)
+}
 
+// SolvePortfolio serves one portfolio race with the same cache-first /
+// single-flight / bounded-queue semantics as Solve. The race itself runs k
+// simulations concurrently inside one worker slot (its racing pool is
+// bounded by Config.Workers); because race outcomes are deterministic at
+// any worker count, the response is cacheable exactly like a single solve.
+func (s *Service) SolvePortfolio(req PortfolioRequest) (Solved, error) {
+	pf, err := portfolioFor(req)
+	if err != nil {
+		return Solved{}, err
+	}
+	key, keyed := shapeKey(pf.Name(), req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	if keyed {
+		if sv, handled, err := s.memoLookup(key); handled {
+			return sv, err
+		}
+	}
+	r, err := resolvePortfolio(pf, req)
+	if err != nil {
+		return Solved{}, err
+	}
+	run := func() (*entry, error) {
+		res, err := portfolio.Race(r.pf, r.inst, r.tup, r.budget,
+			portfolio.Options{Workers: s.cfg.Workers, Trace: !s.cfg.DropTraces})
+		s.races.Add(1)
+		if err != nil {
+			return nil, err
+		}
+		s.solves.Add(int64(len(r.pf.Algorithms) - res.Aborted))
+		s.racersCancelled.Add(int64(res.Cancelled))
+		body, err := json.Marshal(NewPortfolioResponse(r.hash, r.pf, r.inst, r.tup, r.budget, res))
+		if err != nil {
+			return nil, err
+		}
+		return (&entry{hash: r.hash, body: body, events: res.Events}).sized(), nil
+	}
+	return s.startOrJoin(r.hash, key, run)
+}
+
+// memoLookup serves a request whose shape key is already memoized: a cache
+// hit or an in-flight join, without materializing the instance. handled is
+// false when the caller must fall back to full resolution (unknown shape,
+// or known shape whose result has been evicted).
+func (s *Service) memoLookup(key string) (sv Solved, handled bool, err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Solved{}, true, ErrClosed
+	}
+	hash, ok := s.shapes.get(key)
+	if !ok {
+		s.mu.Unlock()
+		return Solved{}, false, nil
+	}
+	if e, ok := s.cache.get(hash); ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		s.memoHits.Add(1)
+		return Solved{Hash: hash, Body: e.body, Hit: true}, true, nil
+	}
+	if c, ok := s.inflight[hash]; ok {
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return Solved{}, true, c.err
+		}
+		s.coalesced.Add(1)
+		s.memoHits.Add(1)
+		return Solved{Hash: hash, Body: c.ent.body, Hit: true}, true, nil
+	}
+	s.mu.Unlock()
+	return Solved{}, false, nil
+}
+
+// startOrJoin is the cache-first core shared by Solve and SolvePortfolio:
+// serve the hash from the cache, join an identical in-flight job, or queue
+// run as a new job. memoKey, when non-empty, is recorded so future requests
+// of the same shape skip instance materialization.
+func (s *Service) startOrJoin(hash, memoKey string, run func() (*entry, error)) (Solved, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return Solved{}, ErrClosed
 	}
-	if e, ok := s.cache.get(r.hash); ok {
+	if memoKey != "" {
+		s.shapes.add(memoKey, hash)
+	}
+	if e, ok := s.cache.get(hash); ok {
 		s.mu.Unlock()
 		s.hits.Add(1)
-		return Solved{Hash: r.hash, Body: e.body, Hit: true}, nil
+		return Solved{Hash: hash, Body: e.body, Hit: true}, nil
 	}
-	if c, ok := s.inflight[r.hash]; ok {
+	if c, ok := s.inflight[hash]; ok {
 		s.mu.Unlock()
 		<-c.done
 		if c.err != nil {
@@ -228,16 +453,16 @@ func (s *Service) Solve(req SolveRequest) (Solved, error) {
 		// Count only successful coalesces, so hitRate never credits
 		// requests that were actually served an error.
 		s.coalesced.Add(1)
-		return Solved{Hash: r.hash, Body: c.ent.body, Hit: true}, nil
+		return Solved{Hash: hash, Body: c.ent.body, Hit: true}, nil
 	}
 	c := &call{done: make(chan struct{})}
-	s.inflight[r.hash] = c
-	j := &job{hash: r.hash, alg: r.alg, inst: r.inst, tup: r.tup, budget: r.budget, call: c}
+	s.inflight[hash] = c
+	j := &job{hash: hash, call: c, run: run}
 	select {
 	case s.jobs <- j:
 		s.mu.Unlock()
 	default:
-		delete(s.inflight, r.hash)
+		delete(s.inflight, hash)
 		s.mu.Unlock()
 		s.shed.Add(1)
 		return Solved{}, ErrQueueFull
@@ -248,31 +473,21 @@ func (s *Service) Solve(req SolveRequest) (Solved, error) {
 	if c.err != nil {
 		return Solved{}, c.err
 	}
-	return Solved{Hash: r.hash, Body: c.ent.body, Hit: false}, nil
+	return Solved{Hash: hash, Body: c.ent.body, Hit: false}, nil
 }
 
-// worker runs queued simulations, stores the marshaled response in the
-// cache, and releases the single-flight waiters.
+// worker runs queued jobs, stores the marshaled response in the cache, and
+// releases the single-flight waiters.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
 		if s.cfg.preSolve != nil {
 			s.cfg.preSolve()
 		}
-		rec := trace.New()
-		res, rep, err := dftp.SolveTraced(j.alg, j.inst, j.tup, j.budget, rec.Record)
-		s.solves.Add(1)
-		var ent *entry
-		if err == nil {
-			var body []byte
-			body, err = json.Marshal(NewSolveResponse(j.hash, j.alg, j.inst, j.tup, j.budget, res, rep))
-			if err == nil {
-				ent = &entry{hash: j.hash, body: body, events: rec.Events()}
-			}
-		}
+		ent, err := j.run()
 		s.mu.Lock()
 		if ent != nil {
-			s.cache.add(ent)
+			s.cache.add(ent.hash, ent)
 		}
 		delete(s.inflight, j.hash)
 		s.mu.Unlock()
@@ -293,6 +508,10 @@ func (s *Service) Probe(hash string) ([]byte, bool) {
 	return e.body, true
 }
 
+// TracesRetained reports whether per-entry event traces are kept (false
+// under Config.DropTraces).
+func (s *Service) TracesRetained() bool { return !s.cfg.DropTraces }
+
 // TraceEvents returns the cached event stream for a hash, if present.
 func (s *Service) TraceEvents(hash string) ([]sim.Event, bool) {
 	s.mu.Lock()
@@ -308,18 +527,24 @@ func (s *Service) TraceEvents(hash string) ([]sim.Event, bool) {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	cacheLen := s.cache.len()
+	cacheBytes := s.cache.total
 	s.mu.Unlock()
 	st := Stats{
-		Hits:          s.hits.Load(),
-		Coalesced:     s.coalesced.Load(),
-		Misses:        s.misses.Load(),
-		Shed:          s.shed.Load(),
-		Solves:        s.solves.Load(),
-		QueueDepth:    len(s.jobs),
-		QueueCapacity: s.cfg.QueueDepth,
-		CacheLen:      cacheLen,
-		CacheCapacity: s.cfg.CacheSize,
-		Workers:       s.cfg.Workers,
+		Hits:            s.hits.Load(),
+		Coalesced:       s.coalesced.Load(),
+		Misses:          s.misses.Load(),
+		Shed:            s.shed.Load(),
+		Solves:          s.solves.Load(),
+		Races:           s.races.Load(),
+		RacersCancelled: s.racersCancelled.Load(),
+		MemoHits:        s.memoHits.Load(),
+		QueueDepth:      len(s.jobs),
+		QueueCapacity:   s.cfg.QueueDepth,
+		CacheLen:        cacheLen,
+		CacheBytes:      cacheBytes,
+		CacheCapacity:   s.cfg.CacheBytes,
+		TracesRetained:  !s.cfg.DropTraces,
+		Workers:         s.cfg.Workers,
 	}
 	if lookups := st.Hits + st.Coalesced + st.Misses; lookups > 0 {
 		st.HitRate = float64(st.Hits+st.Coalesced) / float64(lookups)

@@ -235,8 +235,23 @@ func TestAlgorithmAliasesShareKey(t *testing.T) {
 	}
 }
 
-func TestLRUEviction(t *testing.T) {
-	s := newTestService(t, Config{Workers: 1, CacheSize: 2})
+// The cache budget is approximate retained bytes: filling it past the
+// budget evicts the least recently used entries, never the newest.
+func TestLRUEvictionByBytes(t *testing.T) {
+	// Measure one entry's footprint (traces off: entries of the same shape
+	// then differ only by a few digits of formatted floats).
+	probe := newTestService(t, Config{Workers: 1, DropTraces: true})
+	if _, err := probe.Solve(walkRequest(100)); err != nil {
+		t.Fatal(err)
+	}
+	probe.mu.Lock()
+	per := probe.cache.total
+	probe.mu.Unlock()
+	if per <= 0 {
+		t.Fatalf("entry footprint %d", per)
+	}
+
+	s := newTestService(t, Config{Workers: 1, DropTraces: true, CacheBytes: 2*per + per/2})
 	h := make([]string, 3)
 	for i := range h {
 		sv, err := s.Solve(walkRequest(int64(100 + i)))
@@ -246,13 +261,108 @@ func TestLRUEviction(t *testing.T) {
 		h[i] = sv.Hash
 	}
 	if _, ok := s.Probe(h[0]); ok {
-		t.Fatal("oldest entry not evicted at capacity 2")
+		t.Fatal("oldest entry not evicted at a two-entry byte budget")
 	}
 	if _, ok := s.Probe(h[2]); !ok {
 		t.Fatal("newest entry missing")
 	}
-	if got := s.Stats().CacheLen; got != 2 {
-		t.Fatalf("cache len %d, want 2", got)
+	st := s.Stats()
+	if st.CacheLen != 2 || st.CacheBytes > st.CacheCapacity {
+		t.Fatalf("cache len=%d bytes=%d capacity=%d", st.CacheLen, st.CacheBytes, st.CacheCapacity)
+	}
+}
+
+// Size accounting covers the event trace, which dominates a traced entry;
+// dropping traces shrinks the footprint and empties GET /v1/trace.
+func TestEntrySizeCountsTrace(t *testing.T) {
+	traced := newTestService(t, Config{Workers: 1})
+	plain := newTestService(t, Config{Workers: 1, DropTraces: true})
+	sv1, err := traced.Solve(walkRequest(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv2, err := plain.Solve(walkRequest(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sv1.Body, sv2.Body) {
+		t.Fatal("trace retention changed the response bytes")
+	}
+	tb, pb := traced.Stats().CacheBytes, plain.Stats().CacheBytes
+	if tb <= 2*pb {
+		t.Fatalf("traced entry %dB should dwarf untraced %dB", tb, pb)
+	}
+	if ev, ok := plain.TraceEvents(sv2.Hash); ok && len(ev) > 0 {
+		t.Fatal("DropTraces retained a trace")
+	}
+	if ev, ok := traced.TraceEvents(sv1.Hash); !ok || len(ev) == 0 {
+		t.Fatal("default config dropped the trace")
+	}
+}
+
+// One entry is admitted even when it alone exceeds the byte budget, so a
+// tiny cache still produces hits for the latest request.
+func TestLRUOversizedEntryAdmitted(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, CacheBytes: 1})
+	sv, err := s.Solve(walkRequest(102))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Solve(walkRequest(102))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Hit || !bytes.Equal(warm.Body, sv.Body) {
+		t.Fatal("oversized entry not served back")
+	}
+	if got := s.Stats().CacheLen; got != 1 {
+		t.Fatalf("cache len %d, want 1", got)
+	}
+}
+
+// A repeated family request is served through the shape→hash memo: the hit
+// path never re-generates the instance. (The memo counter is the witness;
+// the O(lookup) claim is BenchmarkService_SolveCached's delta.)
+func TestShapeMemoServesRepeats(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	cold, err := s.Solve(walkRequest(103))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().MemoHits; got != 0 {
+		t.Fatalf("cold solve counted %d memo hits", got)
+	}
+	warm, err := s.Solve(walkRequest(103))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Hit || !bytes.Equal(warm.Body, cold.Body) {
+		t.Fatal("memoized repeat not served from cache")
+	}
+	if got := s.Stats().MemoHits; got != 1 {
+		t.Fatalf("memo hits = %d, want 1", got)
+	}
+	// Budget spellings that hash identically share the memo entry too.
+	neg := walkRequest(103)
+	neg.Budget = -1
+	sv, err := s.Solve(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sv.Hit || s.Stats().MemoHits != 2 {
+		t.Fatalf("negative-budget alias missed the memo (hits=%d)", s.Stats().MemoHits)
+	}
+	// Inline instances bypass the memo but still hit the content cache.
+	gen, err := instance.Family("walk", 24, 0.9, 103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline, err := s.Solve(SolveRequest{Algorithm: "agrid", Instance: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inline.Hit || s.Stats().MemoHits != 2 {
+		t.Fatalf("inline request should hit the cache without the memo (memo=%d)", s.Stats().MemoHits)
 	}
 }
 
@@ -282,7 +392,7 @@ func TestStatsAccounting(t *testing.T) {
 	if want := 2.0 / 3.0; st.HitRate < want-1e-9 || st.HitRate > want+1e-9 {
 		t.Fatalf("hit rate %v, want %v", st.HitRate, want)
 	}
-	if st.Workers != 2 || st.QueueCapacity != 64 || st.CacheCapacity != 1024 {
+	if st.Workers != 2 || st.QueueCapacity != 64 || st.CacheCapacity != 64<<20 || !st.TracesRetained {
 		t.Fatalf("config echo wrong: %+v", st)
 	}
 }
@@ -323,7 +433,11 @@ func TestResponseMatchesDirectSolve(t *testing.T) {
 	if err := json.Unmarshal(sv.Body, &resp); err != nil {
 		t.Fatal(err)
 	}
-	r, err := resolve(walkRequest(12))
+	alg, err := AlgorithmByName(walkRequest(12).Algorithm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := resolve(alg, walkRequest(12))
 	if err != nil {
 		t.Fatal(err)
 	}

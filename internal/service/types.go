@@ -7,6 +7,7 @@ import (
 
 	"freezetag/internal/dftp"
 	"freezetag/internal/instance"
+	"freezetag/internal/portfolio"
 	"freezetag/internal/sim"
 )
 
@@ -55,10 +56,14 @@ type SolveResponse struct {
 	Violations  []string  `json:"violations,omitempty"`
 }
 
+// Named is anything with a canonical solver name: a dftp.Algorithm, or a
+// portfolio.Portfolio whose Name is its hashed descriptor.
+type Named interface{ Name() string }
+
 // NewSolveResponse assembles the shared response struct from a solve's
 // inputs and outputs. Budgets ≤ 0 are canonicalized to 0 (unconstrained),
 // matching the request hash.
-func NewSolveResponse(hash string, alg dftp.Algorithm, in *instance.Instance, tup dftp.Tuple, budget float64, res sim.Result, rep *dftp.Report) SolveResponse {
+func NewSolveResponse(hash string, alg Named, in *instance.Instance, tup dftp.Tuple, budget float64, res sim.Result, rep *dftp.Report) SolveResponse {
 	if budget <= 0 {
 		budget = 0
 	}
@@ -81,6 +86,88 @@ func NewSolveResponse(hash string, alg dftp.Algorithm, in *instance.Instance, tu
 	}
 }
 
+// PortfolioRequest is the wire form of POST /v1/portfolio: a solve request
+// whose single algorithm is replaced by an ordered list of entrants plus an
+// objective (see portfolio.ParseObjective for the spellings; empty means
+// min-makespan). Entrant order is significant — it is the deterministic
+// tie-break and, for first-under-budget, the priority. Seed doubles as the
+// family-generation seed and the portfolio seed deriving the racers'
+// private RNG streams.
+type PortfolioRequest struct {
+	Algorithms []string           `json:"algorithms"`
+	Objective  string             `json:"objective,omitempty"`
+	Instance   *instance.Instance `json:"instance,omitempty"`
+	Family     string             `json:"family,omitempty"`
+	N          int                `json:"n,omitempty"`
+	Param      float64            `json:"param,omitempty"`
+	Seed       int64              `json:"seed,omitempty"`
+	Tuple      *TupleJSON         `json:"tuple,omitempty"`
+	Budget     float64            `json:"budget,omitempty"`
+}
+
+// RacerStat is one entrant's outcome in a PortfolioResponse. Every field is
+// deterministic — decided by portfolio order and simulation content, never
+// by which racer happened to finish first — which is what lets portfolio
+// responses be cached byte-for-byte. Cancelled racers (status "cancelled")
+// report identity only: their runs were stopped, skipped, or discarded, and
+// exposing anything more would make the response depend on scheduling.
+type RacerStat struct {
+	Index     int     `json:"index"`
+	Algorithm string  `json:"algorithm"`
+	Seed      int64   `json:"seed"`
+	Status    string  `json:"status"` // won | completed | cancelled | error
+	Satisfied bool    `json:"satisfied,omitempty"`
+	Makespan  float64 `json:"makespan,omitempty"`
+	MaxEnergy float64 `json:"maxEnergy,omitempty"`
+	Score     float64 `json:"score,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// PortfolioResponse is the wire form of one race: the winning run in the
+// shared SolveResponse shape (Algorithm holds the portfolio's canonical
+// descriptor — the string that was hashed; Winner the winning entrant) plus
+// per-racer stats. Shared by POST /v1/portfolio and `dftp-run -alg
+// portfolio -json`.
+type PortfolioResponse struct {
+	SolveResponse
+	Objective string      `json:"objective"`
+	Winner    string      `json:"winner"`
+	Satisfied bool        `json:"satisfied"`
+	Cancelled int         `json:"cancelled"`
+	Racers    []RacerStat `json:"racers"`
+}
+
+// NewPortfolioResponse assembles the wire response from a race outcome.
+func NewPortfolioResponse(hash string, pf portfolio.Portfolio, in *instance.Instance, tup dftp.Tuple, budget float64, res *portfolio.Result) PortfolioResponse {
+	obj := pf.Objective
+	if obj == nil {
+		obj = portfolio.MinMakespan{}
+	}
+	winner := res.Racers[res.Winner]
+	out := PortfolioResponse{
+		SolveResponse: NewSolveResponse(hash, pf, in, tup, budget, res.Res, res.Rep),
+		Objective:     obj.Name(),
+		Winner:        winner.Algorithm,
+		Satisfied:     res.Satisfied,
+		Cancelled:     res.Cancelled,
+		Racers:        make([]RacerStat, len(res.Racers)),
+	}
+	for i, rr := range res.Racers {
+		out.Racers[i] = RacerStat{
+			Index:     rr.Index,
+			Algorithm: rr.Algorithm,
+			Seed:      rr.Seed,
+			Status:    string(rr.Status),
+			Satisfied: rr.Satisfied,
+			Makespan:  rr.Makespan,
+			MaxEnergy: rr.MaxEnergy,
+			Score:     rr.Score,
+			Error:     rr.Err,
+		}
+	}
+	return out
+}
+
 // BatchRequest is the wire form of POST /v1/batch.
 type BatchRequest struct {
 	Requests []SolveRequest `json:"requests"`
@@ -101,17 +188,22 @@ type BatchResponse struct {
 
 // Stats is the /statsz payload.
 type Stats struct {
-	Hits          int64   `json:"hits"`      // served from the result cache
-	Coalesced     int64   `json:"coalesced"` // joined an identical in-flight solve
-	Misses        int64   `json:"misses"`    // initiated a simulation
-	Shed          int64   `json:"shed"`      // rejected with queue-full (HTTP 429)
-	Solves        int64   `json:"solves"`    // simulations actually run
-	HitRate       float64 `json:"hitRate"`   // (hits+coalesced) / (hits+coalesced+misses)
-	QueueDepth    int     `json:"queueDepth"`
-	QueueCapacity int     `json:"queueCapacity"`
-	CacheLen      int     `json:"cacheLen"`
-	CacheCapacity int     `json:"cacheCapacity"`
-	Workers       int     `json:"workers"`
+	Hits            int64   `json:"hits"`            // served from the result cache
+	Coalesced       int64   `json:"coalesced"`       // joined an identical in-flight solve
+	Misses          int64   `json:"misses"`          // initiated a simulation
+	Shed            int64   `json:"shed"`            // rejected with queue-full (HTTP 429)
+	Solves          int64   `json:"solves"`          // simulations actually run
+	Races           int64   `json:"races"`           // portfolio races actually run
+	RacersCancelled int64   `json:"racersCancelled"` // losing racers cancelled by early-stop objectives
+	MemoHits        int64   `json:"memoHits"`        // hits/coalesces served via the shape→hash memo (no instance re-generation)
+	HitRate         float64 `json:"hitRate"`         // (hits+coalesced) / (hits+coalesced+misses)
+	QueueDepth      int     `json:"queueDepth"`
+	QueueCapacity   int     `json:"queueCapacity"`
+	CacheLen        int     `json:"cacheLen"`        // entries currently cached
+	CacheBytes      int64   `json:"cacheBytes"`      // approximate retained bytes
+	CacheCapacity   int64   `json:"cacheCapacity"`   // cache budget in bytes
+	TracesRetained  bool    `json:"tracesRetained"`  // per-entry event traces kept (GET /v1/trace)
+	Workers         int     `json:"workers"`
 }
 
 // AlgorithmByName resolves the wire name of an algorithm (case-insensitive;

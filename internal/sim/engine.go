@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -167,6 +168,10 @@ func (e *Engine) Spawn(id int, fn func(*Proc)) {
 			}
 		}()
 		<-p.resume
+		if p.killed {
+			// Cancelled before the process ever ran; nothing to unwind.
+			return
+		}
 		fn(p)
 		e.park <- parkMsg{p: p, kind: parkDone}
 	}()
@@ -209,14 +214,41 @@ type Result struct {
 // that can never be released.
 var ErrDeadlock = errors.New("sim: deadlock — processes parked on unreleased barriers")
 
+// ErrCancelled is returned (wrapping the context's error) by RunCtx when the
+// context is cancelled before the simulation completes. The partial Result is
+// still returned, describing the state at the instant the run was abandoned.
+var ErrCancelled = errors.New("sim: run cancelled")
+
 // Run executes the simulation to completion and returns the summary. It is
 // an error to call Run twice or before any process was spawned.
-func (e *Engine) Run() (Result, error) {
+func (e *Engine) Run() (Result, error) { return e.RunCtx(context.Background()) }
+
+// RunCtx is Run with cooperative cancellation: the context is polled between
+// event dispatches (no robot process is ever interrupted mid-step), and on
+// cancellation every live process is unwound before RunCtx returns, so no
+// goroutine outlives the call. Cancellation is the mechanism the portfolio
+// racing engine uses to stop losing racers early.
+func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 	if e.running {
 		return Result{}, errors.New("sim: Run called twice")
 	}
 	e.running = true
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	var cancelErr error
 	for e.pq.Len() > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				cancelErr = fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+			default:
+			}
+			if cancelErr != nil {
+				break
+			}
+		}
 		it := heap.Pop(&e.pq).(schedItem)
 		if it.t < e.now-geom.Eps {
 			return Result{}, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, it.t)
@@ -236,20 +268,33 @@ func (e *Engine) Run() (Result, error) {
 			e.emit(Event{T: e.now, Robot: msg.p.r.id, Kind: "done", Pos: msg.p.r.pos})
 		}
 	}
-	var err error
+	err := cancelErr
+	if err != nil {
+		// Unwind every scheduled process. Each killed process panics with a
+		// sentinel right after resuming, touching no engine state.
+		for e.pq.Len() > 0 {
+			e.kill(heap.Pop(&e.pq).(schedItem).p)
+		}
+	}
 	if len(e.parked) > 0 {
-		err = ErrDeadlock
-		// Unwind parked goroutines so no process leaks past Run. Each killed
-		// process panics with a sentinel right after resuming, touching no
-		// engine state.
+		if err == nil {
+			err = ErrDeadlock
+		}
+		// Unwind parked goroutines so no process leaks past Run.
 		for p := range e.parked {
-			p.killed = true
-			p.resume <- struct{}{}
+			e.kill(p)
 		}
 		e.parked = make(map[*Proc]struct{})
 		e.barriers = make(map[string]*barrier)
 	}
 	return e.result(), err
+}
+
+// kill unwinds one live process goroutine: the next (forced) resume makes it
+// panic with the errKilled sentinel, recovered by its Spawn wrapper.
+func (e *Engine) kill(p *Proc) {
+	p.killed = true
+	p.resume <- struct{}{}
 }
 
 func (e *Engine) result() Result {

@@ -19,7 +19,8 @@ type Proc struct {
 }
 
 // errKilled unwinds a process goroutine that the engine terminated while it
-// was parked on a barrier that can never release (deadlock shutdown path).
+// was parked: either on a barrier that can never release (deadlock shutdown
+// path) or anywhere at all after the run's context was cancelled (RunCtx).
 var errKilled = &struct{ s string }{"sim: process killed"}
 
 // ID returns the robot id this process runs on.
@@ -34,14 +35,25 @@ func (p *Proc) Now() float64 { return p.eng.now }
 // Engine returns the owning engine, for read-only queries by harness code.
 func (p *Proc) Engine() *Engine { return p.eng }
 
-// yieldAt parks the process until virtual time t.
+// yieldAt parks the process until virtual time t. A process the engine has
+// killed (cancelled run) unwinds here instead of parking: the engine's event
+// loop is gone, so parking again would block forever.
 func (p *Proc) yieldAt(t float64) {
+	if p.killed {
+		panic(errKilled)
+	}
 	p.eng.park <- parkMsg{p: p, kind: parkYield, at: t}
 	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
 }
 
 // parkWait parks the process indefinitely; some other process re-enqueues it.
 func (p *Proc) parkWait() {
+	if p.killed {
+		panic(errKilled)
+	}
 	p.eng.park <- parkMsg{p: p, kind: parkWait}
 	<-p.resume
 	if p.killed {
