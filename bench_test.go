@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"testing"
 
+	"freezetag"
 	"freezetag/internal/dftp"
 	"freezetag/internal/diskgraph"
 	"freezetag/internal/experiments"
@@ -341,5 +342,75 @@ func BenchmarkService_SolveCached(b *testing.B) {
 		if !sv.Hit {
 			b.Fatal("cached benchmark missed the cache")
 		}
+	}
+}
+
+// BenchmarkService_PortfolioRace measures a full served four-entrant race
+// (cold, distinct seed per iteration): the third leg of the sim-hot-path
+// baseline snapshotted in BENCH_4.json alongside SolveCold and SolveCached.
+func BenchmarkService_PortfolioRace(b *testing.B) {
+	s := service.New(service.Config{QueueDepth: 1, CacheBytes: 1})
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := s.SolvePortfolio(service.PortfolioRequest{
+			Algorithms: []string{"aseparator", "agrid", "awave"},
+			Family:     "walk", N: 24, Param: 0.9, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Metrics ------------------------------------------------------------------
+
+// BenchmarkMetric_Dist prices one distance evaluation per metric — the
+// innermost call of every grid query, travel computation, and wake-tree
+// greedy after the pluggable-metric refactor.
+func BenchmarkMetric_Dist(b *testing.B) {
+	lp25, err := geom.Lp(2.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 1024)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	for _, m := range []geom.Metric{geom.L1, geom.L2, geom.LInf, lp25} {
+		b.Run(m.Name(), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				p, q := pts[i%len(pts)], pts[(i+7)%len(pts)]
+				sink += m.Dist(p, q)
+			}
+			benchSink = sink
+		})
+	}
+}
+
+var benchSink float64
+
+// BenchmarkEndToEnd_AGrid_Walk32_Metrics prices a full AGrid solve per
+// metric: the per-metric cost of the abstraction on the sim hot path (the
+// ℓ2 row is directly comparable with the pre-refactor
+// BenchmarkEndToEnd_AGrid numbers).
+func BenchmarkEndToEnd_AGrid_Walk32_Metrics(b *testing.B) {
+	in := instance.RandomWalk(rand.New(rand.NewSource(8)), 32, 0.9)
+	for _, m := range []geom.Metric{geom.L1, geom.L2, geom.LInf} {
+		tup := dftp.TupleForIn(m, in)
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, _, err := freezetag.SolveIn(m, freezetag.AGrid, in, tup, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllAwake {
+					b.Fatal("incomplete wake-up")
+				}
+			}
+		})
 	}
 }

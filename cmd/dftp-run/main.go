@@ -5,12 +5,16 @@
 // Usage:
 //
 //	dftp-run -alg aseparator|agrid|awave|aseparatorauto|portfolio
+//	         [-metric l1|l2|linf|lp:<p>]
 //	         [-algs aseparator,agrid,...] [-objective min-makespan]
 //	         [-instance file.json] [-family line|walk|disk|grid|chain]
 //	         [-n 32] [-param 1.0] [-budget 0] [-seed 1]
 //	         [-trace out.csv] [-json]
 //
 // Without -instance, an instance is generated from -family/-n/-param. With
+// -metric, all distances — travel times, energy, the radius-1 look, and the
+// derived (ℓ, ρ) tuple — are measured in the given ℓp metric (default ℓ2);
+// unknown or degenerate metrics (lp:0, lp:NaN) are rejected up front. With
 // -alg portfolio, the -algs entrants race concurrently under -objective
 // ("min-makespan", "min-energy", "weighted:0.7,0.3",
 // "first-under-budget:makespan=120,energy=50") and the winning schedule is
@@ -20,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +32,7 @@ import (
 	"strings"
 
 	"freezetag/internal/dftp"
+	"freezetag/internal/geom"
 	"freezetag/internal/instance"
 	"freezetag/internal/portfolio"
 	"freezetag/internal/service"
@@ -44,6 +50,7 @@ func main() {
 func run() error {
 	var (
 		algName  = flag.String("alg", "aseparator", "algorithm: aseparator, agrid, awave, aseparatorauto, portfolio")
+		metName  = flag.String("metric", "l2", "distance metric: "+geom.MetricNames())
 		algsList = flag.String("algs", "aseparator,agrid,awave,aseparatorauto", "portfolio entrants, in priority order (with -alg portfolio)")
 		objName  = flag.String("objective", "min-makespan", "portfolio objective (with -alg portfolio)")
 		instPath = flag.String("instance", "", "instance JSON file (overrides -family)")
@@ -57,20 +64,27 @@ func run() error {
 	)
 	flag.Parse()
 
+	metric, err := geom.ParseMetric(*metName)
+	if err != nil {
+		return fmt.Errorf("-metric: %w", err)
+	}
 	inst, err := loadOrGenerate(*instPath, *family, *n, *param, *seed)
 	if err != nil {
 		return err
 	}
-	tup := dftp.TupleFor(inst)
+	// One parameter derivation (O(n²) Prim) serves both the tuple and the
+	// printed params.
+	params := inst.ParamsIn(metric)
+	tup := dftp.TupleFromParams(params)
 	if !*jsonOut {
 		fmt.Printf("instance: %s (n=%d)\n", inst.Name, inst.N())
-		p := inst.Params()
+		fmt.Printf("metric:   %s\n", metric.Name())
 		fmt.Printf("params:   ℓ*=%.4g ρ*=%.4g ξ=%.4g  tuple=(ℓ=%.4g, ρ=%.4g, n=%d)\n",
-			p.Ell, p.Rho, p.Xi, tup.Ell, tup.Rho, tup.N)
+			params.Ell, params.Rho, params.Xi, tup.Ell, tup.Rho, tup.N)
 	}
 
 	if strings.EqualFold(*algName, "portfolio") {
-		return runPortfolio(*algsList, *objName, inst, tup, *budget, *seed, *traceOut, *jsonOut)
+		return runPortfolio(*algsList, *objName, metric, inst, tup, *budget, *seed, *traceOut, *jsonOut)
 	}
 
 	alg, err := service.AlgorithmByName(*algName)
@@ -84,14 +98,14 @@ func run() error {
 		rec = trace.New()
 		traceFn = rec.Record
 	}
-	res, rep, err := dftp.SolveTraced(alg, inst, tup, *budget, traceFn)
+	res, rep, err := dftp.SolveIn(context.Background(), metric, alg, inst, tup, *budget, traceFn)
 	if err != nil {
 		return fmt.Errorf("simulation: %w", err)
 	}
 
 	if *jsonOut {
-		hash := instance.HashRequest(alg.Name(), inst, tup.Ell, tup.Rho, tup.N, *budget)
-		body, err := json.Marshal(service.NewSolveResponse(hash, alg, inst, tup, *budget, res, rep))
+		hash := instance.HashRequestIn(metric, alg.Name(), inst, tup.Ell, tup.Rho, tup.N, *budget)
+		body, err := json.Marshal(service.NewSolveResponse(hash, alg, metric, inst, tup, *budget, res, rep))
 		if err != nil {
 			return err
 		}
@@ -115,8 +129,9 @@ func run() error {
 	return nil
 }
 
-// runPortfolio races the -algs entrants and reports the winner.
-func runPortfolio(algsList, objName string, inst *instance.Instance, tup dftp.Tuple,
+// runPortfolio races the -algs entrants under the metric and reports the
+// winner.
+func runPortfolio(algsList, objName string, metric geom.Metric, inst *instance.Instance, tup dftp.Tuple,
 	budget float64, seed int64, traceOut string, jsonOut bool) error {
 	var algs []dftp.Algorithm
 	for _, name := range strings.Split(algsList, ",") {
@@ -134,14 +149,14 @@ func runPortfolio(algsList, objName string, inst *instance.Instance, tup dftp.Tu
 		return err
 	}
 	pf := portfolio.Portfolio{Algorithms: algs, Objective: obj, Seed: seed}
-	res, err := portfolio.Race(pf, inst, tup, budget, portfolio.Options{Trace: traceOut != ""})
+	res, err := portfolio.Race(pf, inst, tup, budget, portfolio.Options{Trace: traceOut != "", Metric: metric})
 	if err != nil {
 		return fmt.Errorf("race: %w", err)
 	}
 
 	if jsonOut {
-		hash := instance.HashRequest(pf.Name(), inst, tup.Ell, tup.Rho, tup.N, budget)
-		body, err := json.Marshal(service.NewPortfolioResponse(hash, pf, inst, tup, budget, res))
+		hash := instance.HashRequestIn(metric, pf.Name(), inst, tup.Ell, tup.Rho, tup.N, budget)
+		body, err := json.Marshal(service.NewPortfolioResponse(hash, pf, metric, inst, tup, budget, res))
 		if err != nil {
 			return err
 		}

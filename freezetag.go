@@ -29,6 +29,7 @@
 package freezetag
 
 import (
+	"context"
 	"math/rand"
 
 	"freezetag/internal/dftp"
@@ -43,6 +44,30 @@ type Point = geom.Point
 
 // Pt builds a Point.
 func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Metric is a pluggable plane distance (any ℓp norm, p ≥ 1). Every distance
+// in the model — travel time, energy, the radius-1 look, and the derived
+// (ℓ, ρ) knowledge — is measured in it; wake-up-time bounds and algorithm
+// behavior change qualitatively between ℓ1, ℓ2 and ℓ∞, which is exactly the
+// experiment axis the *In variants below open. The default everywhere is ℓ2,
+// the paper's setting.
+type Metric = geom.Metric
+
+// The built-in metrics: Manhattan, Euclidean, Chebyshev.
+var (
+	L1   Metric = geom.L1
+	L2   Metric = geom.L2
+	LInf Metric = geom.LInf
+)
+
+// Lp returns the general ℓp metric for p ≥ 1 (p = 1, 2, +Inf normalize to
+// L1, L2, LInf). Degenerate exponents — NaN or p < 1 — are rejected.
+func Lp(p float64) (Metric, error) { return geom.Lp(p) }
+
+// ParseMetric resolves the CLI/wire spelling of a metric: "l1", "l2",
+// "linf", or "lp:<p>"; the empty string means ℓ2. Unknown names and
+// degenerate exponents (lp:0, lp:NaN) are errors, never silent defaults.
+func ParseMetric(s string) (Metric, error) { return geom.ParseMetric(s) }
 
 // Instance is a dFTP problem: a source position plus the initial positions
 // of the sleeping robots. Instances marshal to/from JSON via Save and Load.
@@ -61,8 +86,14 @@ func LoadInstance(path string) (*Instance, error) { return instance.Load(path) }
 // the swarm size n (never actually used by the algorithms, per §5).
 type Tuple = dftp.Tuple
 
-// TupleFor derives an admissible tuple from an instance's exact parameters.
+// TupleFor derives an admissible tuple from an instance's exact Euclidean
+// parameters.
 func TupleFor(in *Instance) Tuple { return dftp.TupleFor(in) }
+
+// TupleForIn derives the admissible tuple under metric m: ℓ* and ρ* are
+// metric-dependent, so the knowledge handed to the source must be measured
+// in the metric the simulation runs in.
+func TupleForIn(m Metric, in *Instance) Tuple { return dftp.TupleForIn(m, in) }
 
 // Result summarizes a run: makespan, per-robot and total energy, completion.
 type Result = sim.Result
@@ -86,6 +117,13 @@ var (
 // Runs are deterministic: identical inputs give identical results.
 func Solve(alg Algorithm, in *Instance, tup Tuple, budget float64) (Result, *Report, error) {
 	return dftp.Solve(alg, in, tup, budget)
+}
+
+// SolveIn is Solve with every distance measured under metric m (nil means
+// ℓ2): travel times, energy, and the radius-1 look. Pass a tuple measured in
+// the same metric (TupleForIn).
+func SolveIn(m Metric, alg Algorithm, in *Instance, tup Tuple, budget float64) (Result, *Report, error) {
+	return dftp.SolveIn(context.Background(), m, alg, in, tup, budget, nil)
 }
 
 // Portfolio is the racing meta-algorithm: an ordered list of entrant
@@ -119,6 +157,13 @@ func SolvePortfolio(p Portfolio, in *Instance, tup Tuple, budget float64) (*Port
 	return portfolio.Race(p, in, tup, budget, portfolio.Options{})
 }
 
+// SolvePortfolioIn is SolvePortfolio with every racer simulating under
+// metric m — the objectives thereby score makespan and energy in the
+// instance's metric automatically.
+func SolvePortfolioIn(m Metric, p Portfolio, in *Instance, tup Tuple, budget float64) (*PortfolioResult, error) {
+	return portfolio.Race(p, in, tup, budget, portfolio.Options{Metric: m})
+}
+
 // HashRequest returns the content-addressed key of a solve request: the
 // SHA-256 hex of a canonical encoding of (algorithm, instance, tuple,
 // budget) with stable field order and normalized floats. Because Solve is
@@ -128,6 +173,14 @@ func SolvePortfolio(p Portfolio, in *Instance, tup Tuple, budget float64) (*Port
 // identically.
 func HashRequest(alg Algorithm, in *Instance, tup Tuple, budget float64) string {
 	return instance.HashRequest(alg.Name(), in, tup.Ell, tup.Rho, tup.N, budget)
+}
+
+// HashRequestIn is HashRequest under metric m. ℓ2 (or nil) produces the
+// pre-metric encoding byte-for-byte — existing cache keys survive — while
+// any other metric hashes under a bumped encoding version that includes the
+// metric's canonical name.
+func HashRequestIn(m Metric, alg Algorithm, in *Instance, tup Tuple, budget float64) string {
+	return instance.HashRequestIn(m, alg.Name(), in, tup.Ell, tup.Rho, tup.N, budget)
 }
 
 // --- Instance generators -----------------------------------------------------
@@ -163,8 +216,15 @@ type Params struct {
 	N   int
 }
 
-// ParamsOf computes the exact parameters of an instance.
+// ParamsOf computes the exact Euclidean parameters of an instance.
 func ParamsOf(in *Instance) Params {
 	p := in.Params()
+	return Params{Rho: p.Rho, Ell: p.Ell, Xi: p.Xi, N: p.N}
+}
+
+// ParamsOfIn computes the exact parameters of an instance under metric m —
+// the same point set generally has different (ρ*, ℓ*, ξ) per metric.
+func ParamsOfIn(m Metric, in *Instance) Params {
+	p := in.ParamsIn(m)
 	return Params{Rho: p.Rho, Ell: p.Ell, Xi: p.Xi, N: p.N}
 }

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 
+	"freezetag/internal/diskgraph"
 	"freezetag/internal/geom"
 	"freezetag/internal/instance"
 	"freezetag/internal/sim"
@@ -48,10 +49,21 @@ func (t Tuple) Admissible() bool {
 	return t.Ell > 0 && t.Rho >= t.Ell && t.Rho <= float64(t.N)*t.Ell
 }
 
-// TupleFor computes an admissible tuple from an instance's exact parameters,
-// rounding ℓ and ρ up to integers as the paper assumes.
-func TupleFor(inst *instance.Instance) Tuple {
-	p := inst.Params()
+// TupleFor computes an admissible tuple from an instance's exact Euclidean
+// parameters, rounding ℓ and ρ up to integers as the paper assumes.
+func TupleFor(inst *instance.Instance) Tuple { return TupleForIn(nil, inst) }
+
+// TupleForIn computes the admissible tuple under metric m (nil defaults to
+// ℓ2): ℓ* and ρ* are metric-dependent, so the knowledge handed to the source
+// must be measured in the metric the simulation runs in.
+func TupleForIn(m geom.Metric, inst *instance.Instance) Tuple {
+	return TupleFromParams(inst.ParamsIn(m))
+}
+
+// TupleFromParams rounds already-computed exact parameters into the
+// admissible tuple. Callers that need the params for their own reporting
+// use this to avoid a second O(n²) derivation.
+func TupleFromParams(p diskgraph.Params) Tuple {
 	ell := math.Ceil(p.Ell)
 	if ell < 1 {
 		ell = 1
@@ -112,7 +124,15 @@ func SolveTraced(alg Algorithm, inst *instance.Instance, tup Tuple, budget float
 // entry point of the portfolio racing engine, which cancels losing racers
 // once a winner is decided. A nil or background context behaves like Solve.
 func SolveCtx(ctx context.Context, alg Algorithm, inst *instance.Instance, tup Tuple, budget float64, traceFn func(sim.Event)) (sim.Result, *Report, error) {
-	e := sim.NewEngine(sim.Config{Source: inst.Source, Sleepers: inst.Points, Budget: budget, Trace: traceFn})
+	return SolveIn(ctx, nil, alg, inst, tup, budget, traceFn)
+}
+
+// SolveIn is the root of the Solve family: it runs alg on inst with all
+// distances — travel times, energy, the radius-1 Look — measured under
+// metric m (nil defaults to ℓ2, making every other Solve* a thin wrapper).
+// The tuple should be measured in the same metric (see TupleForIn).
+func SolveIn(ctx context.Context, m geom.Metric, alg Algorithm, inst *instance.Instance, tup Tuple, budget float64, traceFn func(sim.Event)) (sim.Result, *Report, error) {
+	e := sim.NewEngine(sim.Config{Source: inst.Source, Sleepers: inst.Points, Budget: budget, Metric: m, Trace: traceFn})
 	rep := alg.Install(e, tup)
 	res, err := e.RunCtx(ctx)
 	return res, rep, err

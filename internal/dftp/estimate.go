@@ -86,15 +86,16 @@ func EstimateRho(p *sim.Proc, ell float64, rep *Report) Estimate {
 	}
 	known := out.Discovered
 	if out.Covered {
-		// Everything is discovered: ρ* is exact.
+		// Everything is discovered: ρ* is exact (in the run metric).
+		metric := p.Engine().Metric()
 		rho := 0.0
 		for _, pos := range known {
-			if d := p.Self().InitPos().Dist(pos); d > rho {
+			if d := metric.Dist(p.Self().InitPos(), pos); d > rho {
 				rho = d
 			}
 		}
 		for _, id := range out.Members {
-			if d := p.Self().InitPos().Dist(p.Engine().Robot(id).InitPos()); d > rho {
+			if d := metric.Dist(p.Self().InitPos(), p.Engine().Robot(id).InitPos()); d > rho {
 				rho = d
 			}
 		}

@@ -35,8 +35,12 @@ func (AGrid) Install(e *sim.Engine, tup Tuple) *Report {
 		r:   2 * tup.Ell,
 		reg: make(map[gridKey][]int),
 	}
-	g.t = gridSlotWork(g.r)
-	g.slotW = g.t + 3*g.r
+	// The slot-work constants are calibrated upper bounds on ℓ2 travel;
+	// inflating them by the metric's stretch keeps them valid bounds under
+	// any ℓp (1× for p ≥ 2, √2× for ℓ1 — see geom.Metric.Stretch).
+	st := e.Metric().Stretch()
+	g.t = gridSlotWork(g.r) * st
+	g.slotW = g.t + 3*g.r*st
 	e.Spawn(sim.SourceID, func(p *sim.Proc) {
 		s := geom.GridCell(p.Self().Pos(), g.r)
 		g.exploreWake(p, s, g.participant(1))
@@ -156,7 +160,7 @@ func (g *gridRun) exploreWake(p *sim.Proc, s geom.Square, cont func(*sim.Proc)) 
 		}
 		targets = append(targets, wakeup.Target{ID: id, Pos: pos})
 	}
-	tree := wakeup.BuildTree(p.Self().Pos(), targets)
+	tree := wakeup.BuildTreeIn(g.eng.Metric(), p.Self().Pos(), targets)
 	if err := wakeup.Propagate(p, tree, cont); err != nil {
 		g.rep.miss("propagate: %v", err)
 	}

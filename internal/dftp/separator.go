@@ -331,7 +331,7 @@ func (c *sepCtx) terminalWake(p *sim.Proc, members []int, S geom.Square,
 			targets = append(targets, wakeup.Target{ID: id, Pos: pos})
 		}
 	}
-	tree := wakeup.BuildTree(p.Self().Pos(), targets)
+	tree := wakeup.BuildTreeIn(c.eng.Metric(), p.Self().Pos(), targets)
 	if err := wakeup.Propagate(p, tree, c.cont); err != nil {
 		c.rep.miss("terminal propagate: %v", err)
 	}
@@ -362,7 +362,7 @@ func (c *sepCtx) baseExploreWake(p *sim.Proc, members []int, S geom.Square,
 			targets = append(targets, wakeup.Target{ID: id, Pos: pos})
 		}
 	}
-	tree := wakeup.BuildTree(p.Self().Pos(), targets)
+	tree := wakeup.BuildTreeIn(c.eng.Metric(), p.Self().Pos(), targets)
 	if err := wakeup.Propagate(p, tree, c.cont); err != nil {
 		c.rep.miss("base propagate: %v", err)
 	}

@@ -64,8 +64,11 @@ func (AWave) Install(e *sim.Engine, tup Tuple) *Report {
 		reg: make(map[gridKey][]int),
 	}
 	w.r = waveWidth(tup.Ell)
-	w.t = waveSlotWork(w.r, tup.Ell)
-	w.slotW = w.t + 3*w.r
+	// Slot-work bounds are ℓ2-calibrated; the metric stretch keeps them
+	// valid travel bounds under any ℓp (see AGrid.Install).
+	st := e.Metric().Stretch()
+	w.t = waveSlotWork(w.r, tup.Ell) * st
+	w.slotW = w.t + 3*w.r*st
 	e.Spawn(sim.SourceID, func(p *sim.Proc) {
 		s := geom.GridCell(p.Self().Pos(), w.r)
 		admit := w.cellAdmit(s)

@@ -18,7 +18,9 @@ import (
 )
 
 // Graph is the δ-disk graph over a source and a point set. Edges connect
-// vertices at Euclidean distance ≤ δ and are weighted by that distance.
+// vertices at metric distance ≤ δ and are weighted by that distance (ℓ2
+// unless built with NewIn — under other metrics the "disks" are the metric's
+// balls: diamonds for ℓ1, squares for ℓ∞).
 type Graph struct {
 	// Pts holds all vertex positions; Pts[0] is the source.
 	Pts   []geom.Point
@@ -31,10 +33,17 @@ type edge struct {
 	w  float64
 }
 
-// New builds the δ-disk graph of {source} ∪ points. The adjacency lists are
-// built with a spatial grid, so construction is near-linear for bounded
-// density; it degrades gracefully for dense sets.
+// New builds the Euclidean δ-disk graph of {source} ∪ points.
 func New(source geom.Point, points []geom.Point, delta float64) *Graph {
+	return NewIn(nil, source, points, delta)
+}
+
+// NewIn builds the δ-ball graph of {source} ∪ points under metric m (nil
+// defaults to ℓ2). The adjacency lists are built with a spatial grid, so
+// construction is near-linear for bounded density; it degrades gracefully
+// for dense sets.
+func NewIn(m geom.Metric, source geom.Point, points []geom.Point, delta float64) *Graph {
+	m = geom.MetricOrL2(m)
 	pts := make([]geom.Point, 0, len(points)+1)
 	pts = append(pts, source)
 	pts = append(pts, points...)
@@ -42,7 +51,7 @@ func New(source geom.Point, points []geom.Point, delta float64) *Graph {
 	if delta <= 0 {
 		return g
 	}
-	idx := spatial.NewGrid(delta)
+	idx := spatial.NewGridIn(m, delta)
 	for i, p := range pts {
 		idx.Insert(i, p)
 	}
@@ -53,7 +62,7 @@ func New(source geom.Point, points []geom.Point, delta float64) *Graph {
 			if j == i {
 				continue
 			}
-			g.adj[i] = append(g.adj[i], edge{to: j, w: p.Dist(pts[j])})
+			g.adj[i] = append(g.adj[i], edge{to: j, w: m.Dist(p, pts[j])})
 		}
 		sort.Slice(g.adj[i], func(a, b int) bool { return g.adj[i][a].to < g.adj[i][b].to })
 	}

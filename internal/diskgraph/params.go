@@ -15,23 +15,38 @@ type Params struct {
 	N   int     // |P|
 }
 
-// ComputeParams returns the exact (ρ*, ℓ*, ξ_{ℓ*}) of the instance.
+// ComputeParams returns the exact Euclidean (ρ*, ℓ*, ξ_{ℓ*}) of the instance.
 func ComputeParams(source geom.Point, points []geom.Point) Params {
-	ell := ConnectivityThreshold(source, points)
+	return ComputeParamsIn(nil, source, points)
+}
+
+// ComputeParamsIn returns the exact (ρ*, ℓ*, ξ_{ℓ*}) of the instance under
+// metric m (nil defaults to ℓ2). The three parameters are all
+// metric-dependent: the same point set has a different radius, connectivity
+// threshold, and eccentricity under ℓ1, ℓ2 and ℓ∞.
+func ComputeParamsIn(m geom.Metric, source geom.Point, points []geom.Point) Params {
+	m = geom.MetricOrL2(m)
+	ell := ConnectivityThresholdIn(m, source, points)
 	return Params{
-		Rho: geom.MaxDistFrom(source, points),
+		Rho: geom.MaxDistFromIn(m, source, points),
 		Ell: ell,
-		Xi:  XiAt(source, points, ell),
+		Xi:  XiAtIn(m, source, points, ell),
 		N:   len(points),
 	}
 }
 
-// ConnectivityThreshold computes ℓ*, the least δ making the δ-disk graph of
-// P ∪ {s} connected. It equals the largest edge weight of the Euclidean
-// minimum spanning tree (the bottleneck connectivity radius), computed with
-// a dense Prim pass in O(n²) time and O(n) memory — exact, and fast enough
-// for the swarm sizes simulated here. Returns 0 when P is empty.
+// ConnectivityThreshold computes the Euclidean ℓ*.
 func ConnectivityThreshold(source geom.Point, points []geom.Point) float64 {
+	return ConnectivityThresholdIn(nil, source, points)
+}
+
+// ConnectivityThresholdIn computes ℓ* under metric m: the least δ making the
+// δ-ball graph of P ∪ {s} connected. It equals the largest edge weight of the
+// metric minimum spanning tree (the bottleneck connectivity radius), computed
+// with a dense Prim pass in O(n²) time and O(n) memory — exact, and fast
+// enough for the swarm sizes simulated here. Returns 0 when P is empty.
+func ConnectivityThresholdIn(m geom.Metric, source geom.Point, points []geom.Point) float64 {
+	m = geom.MetricOrL2(m)
 	pts := make([]geom.Point, 0, len(points)+1)
 	pts = append(pts, source)
 	pts = append(pts, points...)
@@ -63,7 +78,7 @@ func ConnectivityThreshold(source geom.Point, points []geom.Point) float64 {
 		}
 		for i := 0; i < n; i++ {
 			if !inTree[i] {
-				if d := pts[v].Dist(pts[i]); d < best[i] {
+				if d := m.Dist(pts[v], pts[i]); d < best[i] {
 					best[i] = d
 				}
 			}
@@ -72,15 +87,20 @@ func ConnectivityThreshold(source geom.Point, points []geom.Point) float64 {
 	return bottleneck
 }
 
-// XiAt computes the ℓ-eccentricity ξℓ of the source: the maximum
-// shortest-path distance from s in the ℓ-disk graph of P ∪ {s}, equivalently
-// the minimum weighted depth over spanning trees rooted at s. Returns +Inf
-// when the ℓ-disk graph is disconnected.
+// XiAt computes the Euclidean ℓ-eccentricity ξℓ of the source.
 func XiAt(source geom.Point, points []geom.Point, ell float64) float64 {
+	return XiAtIn(nil, source, points, ell)
+}
+
+// XiAtIn computes ξℓ under metric m: the maximum shortest-path distance from
+// s in the ℓ-ball graph of P ∪ {s}, equivalently the minimum weighted depth
+// over spanning trees rooted at s. Returns +Inf when the ℓ-ball graph is
+// disconnected.
+func XiAtIn(m geom.Metric, source geom.Point, points []geom.Point, ell float64) float64 {
 	if len(points) == 0 {
 		return 0
 	}
-	g := New(source, points, ell)
+	g := NewIn(m, source, points, ell)
 	return g.Eccentricity(0)
 }
 

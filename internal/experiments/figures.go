@@ -359,6 +359,7 @@ func (r *Runner) All(scale Scale) ([]*report.Table, error) {
 		{"F1", r.F1Phases}, {"F4", r.F4Explore}, {"F5", r.F5Construction},
 		{"L2", r.L2WakeTree}, {"L5", r.L5DFSampling},
 		{"P1", r.P1Portfolio},
+		{"M1", r.M1Metrics},
 	}
 	var out []*report.Table
 	for _, g := range gens {

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"freezetag/internal/report"
+)
+
+// The M1 sweep must run under the engine, produce one row per
+// (family, metric) pair, and show per-metric results — ℓ*/ρ* change with the
+// metric on the cluster family, makespans change on every family.
+func TestM1Metrics(t *testing.T) {
+	tb, err := NewRunner().M1Metrics(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, want := range []string{"l1", "l2", "linf", "ASeparator"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("M1 table lacks %q:\n%s", want, out)
+		}
+	}
+	// 3 quick families × 3 metrics.
+	if rows := strings.Count(out, "\n") - 3; rows != 9 {
+		t.Errorf("M1 has %d rows, want 9:\n%s", rows, out)
+	}
+}
+
+// M1 is deterministic at any worker count, like every sweep in the engine.
+func TestM1ParallelMatchesSerial(t *testing.T) {
+	assertTableIdentical(t, "M1Metrics", func(r *Runner) (*report.Table, error) {
+		return r.M1Metrics(Quick)
+	})
+}

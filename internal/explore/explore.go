@@ -17,9 +17,11 @@ import (
 	"freezetag/internal/sim"
 )
 
-// snapPitch is the snapshot and row pitch √2: a radius-1 view contains the
-// axis-parallel square of width √2 centered on the robot, so a √2 × √2 grid
-// of snapshot points covers the plane.
+// snapPitch is the Euclidean snapshot and row pitch √2: a radius-1 view
+// contains the axis-parallel square of width √2 centered on the robot, so a
+// √2 × √2 grid of snapshot points covers the plane. Under other metrics the
+// pitch is the metric's inscribed-square width (1 for ℓ1, 2 for ℓ∞); see
+// PlanRectIn.
 var snapPitch = math.Sqrt2
 
 // Plan is a deterministic exploration trajectory: the robot visits Stops in
@@ -28,17 +30,28 @@ type Plan struct {
 	Stops []geom.Point
 }
 
-// PlanRect returns the single-robot zigzag plan covering rectangle r: every
-// point of r is within distance 1 of some stop. Rows alternate direction so
-// consecutive stops stay close (serpentine order). Degenerate rectangles
-// yield a single-stop plan at the center.
-func PlanRect(r geom.Rect) Plan {
+// PlanRect returns the single-robot zigzag plan covering rectangle r under
+// Euclidean looks: every point of r is within distance 1 of some stop. Rows
+// alternate direction so consecutive stops stay close (serpentine order).
+// Degenerate rectangles yield a single-stop plan at the center.
+func PlanRect(r geom.Rect) Plan { return planRectPitch(r, snapPitch) }
+
+// PlanRectIn returns the zigzag plan covering r with radius-1 looks under
+// metric m: the pitch is the side of the largest axis-aligned square
+// inscribed in m's unit ball, so the stop lattice still covers every point
+// of r. A tighter ball (ℓ1) means a finer lattice and a longer sweep; a
+// looser one (ℓ∞) a coarser, cheaper sweep.
+func PlanRectIn(m geom.Metric, r geom.Rect) Plan {
+	return planRectPitch(r, geom.MetricOrL2(m).InscribedSquare())
+}
+
+func planRectPitch(r geom.Rect, pitch float64) Plan {
 	w, h := r.Width(), r.Height()
-	nx := int(math.Ceil(w / snapPitch))
+	nx := int(math.Ceil(w / pitch))
 	if nx < 1 {
 		nx = 1
 	}
-	ny := int(math.Ceil(h / snapPitch))
+	ny := int(math.Ceil(h / pitch))
 	if ny < 1 {
 		ny = 1
 	}
@@ -58,22 +71,32 @@ func PlanRect(r geom.Rect) Plan {
 	return Plan{Stops: stops}
 }
 
-// Length returns the travel length of the plan starting from `from` and
-// ending at `to` (entry and exit legs included).
-func (pl Plan) Length(from, to geom.Point) float64 {
+// Length returns the Euclidean travel length of the plan starting from
+// `from` and ending at `to` (entry and exit legs included).
+func (pl Plan) Length(from, to geom.Point) float64 { return pl.LengthIn(nil, from, to) }
+
+// LengthIn returns the plan's travel length under metric m.
+func (pl Plan) LengthIn(m geom.Metric, from, to geom.Point) float64 {
+	mm := geom.MetricOrL2(m)
 	if len(pl.Stops) == 0 {
-		return from.Dist(to)
+		return mm.Dist(from, to)
 	}
-	return from.Dist(pl.Stops[0]) + geom.PathLength(pl.Stops) + pl.Stops[len(pl.Stops)-1].Dist(to)
+	return mm.Dist(from, pl.Stops[0]) + geom.PathLengthIn(mm, pl.Stops) +
+		mm.Dist(pl.Stops[len(pl.Stops)-1], to)
 }
 
-// Covers reports whether every one of the probe points is within distance 1
-// of some stop; used by the property tests as the Lemma 1 validity check.
-func (pl Plan) Covers(probes []geom.Point) bool {
+// Covers reports whether every one of the probe points is within Euclidean
+// distance 1 of some stop; used by the property tests as the Lemma 1
+// validity check.
+func (pl Plan) Covers(probes []geom.Point) bool { return pl.CoversIn(nil, probes) }
+
+// CoversIn is Covers with visibility measured under metric m.
+func (pl Plan) CoversIn(m geom.Metric, probes []geom.Point) bool {
+	mm := geom.MetricOrL2(m)
 	for _, q := range probes {
 		ok := false
 		for _, s := range pl.Stops {
-			if s.Within(q, 1) {
+			if geom.WithinIn(mm, s, q, 1) {
 				ok = true
 				break
 			}
@@ -130,6 +153,7 @@ func runPlan(p *sim.Proc, pl Plan, dest geom.Point, res *Result) error {
 // temporary processes and are passive again (parked at dest) on return.
 func Rect(p *sim.Proc, memberIDs []int, r geom.Rect, dest geom.Point) (*Result, error) {
 	k := 1 + len(memberIDs)
+	metric := p.Engine().Metric()
 	strips := r.HStrips(k)
 	key := fmt.Sprintf("explore/%d/%.9f/%p", p.ID(), p.Now(), &strips)
 	results := make([]*Result, k)
@@ -138,12 +162,12 @@ func Rect(p *sim.Proc, memberIDs []int, r geom.Rect, dest geom.Point) (*Result, 
 		i, id := i, id
 		results[i+1] = newResult()
 		p.Engine().Spawn(id, func(q *sim.Proc) {
-			errs[i+1] = runPlan(q, PlanRect(strips[i+1]), dest, results[i+1])
+			errs[i+1] = runPlan(q, PlanRectIn(metric, strips[i+1]), dest, results[i+1])
 			q.Barrier(key, k)
 		})
 	}
 	results[0] = newResult()
-	errs[0] = runPlan(p, PlanRect(strips[0]), dest, results[0])
+	errs[0] = runPlan(p, PlanRectIn(metric, strips[0]), dest, results[0])
 	p.Barrier(key, k)
 	merged := newResult()
 	var firstErr error

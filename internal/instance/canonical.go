@@ -9,18 +9,31 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+
+	"freezetag/internal/geom"
 )
 
 // This file defines the canonical request encoding that content-addresses a
-// solve request (algorithm, instance, tuple, budget). Two requests share a
-// hash iff they are semantically the same solve, so the encoding must be
-// deterministic: fields are written in a fixed order and floats are
+// solve request (algorithm, instance, tuple, budget, metric). Two requests
+// share a hash iff they are semantically the same solve, so the encoding
+// must be deterministic: fields are written in a fixed order and floats are
 // normalized (negative zero collapses to zero, values print in exact hex
 // form, budgets ≤ 0 all mean "unconstrained" and encode as 0).
 
 // canonVersion is bumped whenever the canonical encoding changes, so stale
 // hashes from older encodings can never alias new ones.
-const canonVersion = "dftp-request/v1"
+//
+// Versioning rule for the metric field (the v1→v2 bump): requests under the
+// Euclidean metric — the only metric v1 could express — keep the v1
+// encoding with no metric line, so every pre-metric hash (and therefore
+// every cache key ever handed to a client) is byte-identical under the new
+// code; this is locked by the fixtures in testdata/hash_golden_pr3.json.
+// Any other metric encodes under v2 with an explicit metric line, which can
+// never collide with a v1 hash because the version line differs.
+const (
+	canonVersion   = "dftp-request/v1"
+	canonVersionV2 = "dftp-request/v2"
+)
 
 // canonFloat formats f for the canonical encoding: exact (hex mantissa, no
 // rounding ambiguity), with -0 normalized to 0 so the two IEEE zeros hash
@@ -47,18 +60,32 @@ func (in *Instance) appendCanonical(w io.Writer) {
 	}
 }
 
-// HashRequest returns the content-addressed key of a solve request: the
-// SHA-256 (hex) of the canonical encoding of (algorithm, instance, tuple,
-// budget). The tuple is passed as its raw (ℓ, ρ, n) fields so this package
-// does not depend on the algorithm layer. Budgets ≤ 0 are all
-// "unconstrained" and hash identically.
+// HashRequest returns the content-addressed key of a Euclidean solve
+// request: the SHA-256 (hex) of the canonical encoding of (algorithm,
+// instance, tuple, budget). The tuple is passed as its raw (ℓ, ρ, n) fields
+// so this package does not depend on the algorithm layer. Budgets ≤ 0 are
+// all "unconstrained" and hash identically.
 func HashRequest(algorithm string, in *Instance, ell, rho float64, n int, budget float64) string {
+	return HashRequestIn(nil, algorithm, in, ell, rho, n, budget)
+}
+
+// HashRequestIn is HashRequest under metric m (nil defaults to ℓ2). The ℓ2
+// metric — canonical name "l2", or a nil/omitted metric — produces the
+// pre-metric v1 encoding byte-for-byte, so existing cache keys survive; any
+// other metric encodes under v2 with its canonical name as an extra field.
+func HashRequestIn(m geom.Metric, algorithm string, in *Instance, ell, rho float64, n int, budget float64) string {
 	if budget <= 0 {
 		budget = 0
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\n", canonVersion)
-	fmt.Fprintf(h, "alg=%s\n", algorithm)
+	if geom.IsL2(m) {
+		fmt.Fprintf(h, "%s\n", canonVersion)
+		fmt.Fprintf(h, "alg=%s\n", algorithm)
+	} else {
+		fmt.Fprintf(h, "%s\n", canonVersionV2)
+		fmt.Fprintf(h, "alg=%s\n", algorithm)
+		fmt.Fprintf(h, "metric=%s\n", m.Name())
+	}
 	fmt.Fprintf(h, "tuple=%s,%s,%d\n", canonFloat(ell), canonFloat(rho), n)
 	fmt.Fprintf(h, "budget=%s\n", canonFloat(budget))
 	in.appendCanonical(h)

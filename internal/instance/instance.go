@@ -27,9 +27,16 @@ type Instance struct {
 // N returns the number of sleeping robots.
 func (in *Instance) N() int { return len(in.Points) }
 
-// Params computes the exact (ρ*, ℓ*, ξ) of the instance.
+// Params computes the exact Euclidean (ρ*, ℓ*, ξ) of the instance.
 func (in *Instance) Params() diskgraph.Params {
 	return diskgraph.ComputeParams(in.Source, in.Points)
+}
+
+// ParamsIn computes the exact (ρ*, ℓ*, ξ) of the instance under metric m
+// (nil defaults to ℓ2): the same point set generally has different
+// parameters — and different admissible tuples — per metric.
+func (in *Instance) ParamsIn(m geom.Metric) diskgraph.Params {
+	return diskgraph.ComputeParamsIn(m, in.Source, in.Points)
 }
 
 // MarshalCanonical encodes the instance as indented JSON with deterministic

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"freezetag/internal/dftp"
+	"freezetag/internal/geom"
 	"freezetag/internal/instance"
 	"freezetag/internal/rngstream"
 	"freezetag/internal/sim"
@@ -135,13 +136,19 @@ type Result struct {
 	Aborted int
 }
 
-// Options tune a race without changing its outcome.
+// Options tune a race. Workers and Trace never change the outcome; Metric
+// changes the problem itself (every racer simulates under it), so it is part
+// of the race's content-addressed identity at the service layer.
 type Options struct {
 	// Workers bounds the racing pool (default GOMAXPROCS, clamped to the
 	// number of entrants). Any value produces identical results.
 	Workers int
 	// Trace records the winning run's event stream into Result.Events.
 	Trace bool
+	// Metric is the distance every racer's simulation is measured in (nil
+	// means ℓ2). Objectives thereby score makespan and energy under the
+	// instance's metric automatically — the sim results are already in it.
+	Metric geom.Metric
 }
 
 // racerRun is one racer's raw, possibly scheduling-dependent outcome before
@@ -223,7 +230,7 @@ func Race(p Portfolio, inst *instance.Instance, tup dftp.Tuple, budget float64, 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				runs[i] = runRacer(p, obj, inst, tup, budget, i, ctxs[i], ctl)
+				runs[i] = runRacer(p, obj, inst, tup, budget, opts.Metric, i, ctxs[i], ctl)
 			}
 		}()
 	}
@@ -243,7 +250,7 @@ func Race(p Portfolio, inst *instance.Instance, tup dftp.Tuple, budget float64, 
 		// re-solving the winner with a recorder reproduces the winning run
 		// exactly, at the cost of one extra simulation per traced race.
 		rec := trace.New()
-		if _, _, err := dftp.SolveTraced(p.Algorithms[out.Winner], inst, tup, budget, rec.Record); err != nil {
+		if _, _, err := dftp.SolveIn(context.Background(), opts.Metric, p.Algorithms[out.Winner], inst, tup, budget, rec.Record); err != nil {
 			return nil, fmt.Errorf("portfolio: re-tracing the winner: %w", err)
 		}
 		out.Events = rec.Events()
@@ -253,11 +260,11 @@ func Race(p Portfolio, inst *instance.Instance, tup dftp.Tuple, budget float64, 
 
 // runRacer executes entrant i unless the race is already decided against it.
 func runRacer(p Portfolio, obj Objective, inst *instance.Instance, tup dftp.Tuple, budget float64,
-	i int, ctx context.Context, ctl *control) racerRun {
+	m geom.Metric, i int, ctx context.Context, ctl *control) racerRun {
 	if ctl.doomed(i) {
 		return racerRun{aborted: true}
 	}
-	res, rep, err := dftp.SolveCtx(ctx, p.Algorithms[i], inst, tup, budget, nil)
+	res, rep, err := dftp.SolveIn(ctx, m, p.Algorithms[i], inst, tup, budget, nil)
 	if ctx.Err() != nil {
 		// Aborted mid-run: the result is partial and scheduling-dependent —
 		// discard everything but the fact of the abort.

@@ -87,6 +87,7 @@ type Outcome struct {
 // O(ℓ² log |P′|) effect). On budget exhaustion the run returns what it has
 // with the error.
 func Run(p *sim.Proc, members []int, req Request) (Outcome, error) {
+	metric := p.Engine().Metric()
 	out := Outcome{Discovered: make(map[int]geom.Point, len(req.Known))}
 	for id, pos := range req.Known {
 		out.Discovered[id] = pos
@@ -121,7 +122,7 @@ func Run(p *sim.Proc, members []int, req Request) (Outcome, error) {
 
 	farFromSamples := func(q geom.Point) bool {
 		for _, s := range out.Samples {
-			if s.Within(q, req.Ell) {
+			if geom.WithinIn(metric, s, q, req.Ell) {
 				return false
 			}
 		}
@@ -200,7 +201,7 @@ func Run(p *sim.Proc, members []int, req Request) (Outcome, error) {
 			if !admit(pos) {
 				continue
 			}
-			d := cur.Dist(pos)
+			d := metric.Dist(cur, pos)
 			if d > 2*req.Ell+geom.Eps {
 				continue
 			}

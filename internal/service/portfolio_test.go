@@ -159,7 +159,7 @@ func TestPortfolioMatchesDirectRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := resolvePortfolio(pf, portfolioRequest(3))
+	r, err := resolvePortfolio(pf, nil, portfolioRequest(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestPortfolioMatchesDirectRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, err := json.Marshal(NewPortfolioResponse(r.hash, r.pf, r.inst, r.tup, r.budget, direct))
+	body, err := json.Marshal(NewPortfolioResponse(r.hash, r.pf, r.metric, r.inst, r.tup, r.budget, direct))
 	if err != nil {
 		t.Fatal(err)
 	}

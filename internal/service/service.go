@@ -15,6 +15,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"freezetag/internal/dftp"
+	"freezetag/internal/geom"
 	"freezetag/internal/instance"
 	"freezetag/internal/portfolio"
 	"freezetag/internal/sim"
@@ -96,11 +98,15 @@ type Solved struct {
 }
 
 // job is one queued unit of work: a simulation or a whole portfolio race,
-// closed over by run.
+// closed over by run. width is the job's effective admission weight: the
+// number of worker slots its simulations can occupy at once (1 for a solve,
+// min(k, Workers) for a k-entrant race, whose internal pool is clamped to
+// Workers).
 type job struct {
-	hash string
-	call *call
-	run  func() (*entry, error)
+	hash  string
+	width int
+	call  *call
+	run   func() (*entry, error)
 }
 
 // call is a single-flight slot: the first request for a hash creates it,
@@ -123,6 +129,11 @@ type Service struct {
 	shapes   *lru[string]
 	inflight map[string]*call
 	closed   bool
+	// queueWeight is the admitted-but-uncompleted effective slot count
+	// (widths of queued and running jobs). Admission sheds when it would
+	// exceed QueueDepth+Workers, so a burst of wide portfolio races cannot
+	// oversubscribe the host the way width-blind counting would.
+	queueWeight int
 
 	hits            atomic.Int64
 	coalesced       atomic.Int64
@@ -165,11 +176,22 @@ func (s *Service) Close() {
 	s.wg.Wait()
 }
 
+// parseMetric resolves a request's metric spelling, wrapping rejections —
+// unknown names, degenerate exponents like lp:0 or lp:NaN — in ErrBadRequest
+// so the HTTP layer answers 400 instead of silently defaulting.
+func parseMetric(s string) (geom.Metric, error) {
+	m, err := geom.ParseMetric(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return m, nil
+}
+
 // resolveInstance materializes the instance/tuple/budget half of a request
 // (shared by solve and portfolio requests): inline instance wins over
-// family, the tuple defaults to dftp.TupleFor(instance), budgets ≤ 0
-// collapse to 0. All failures wrap ErrBadRequest.
-func resolveInstance(inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64) (*instance.Instance, dftp.Tuple, float64, error) {
+// family, the tuple defaults to dftp.TupleForIn(metric, instance), budgets
+// ≤ 0 collapse to 0. All failures wrap ErrBadRequest.
+func resolveInstance(m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64) (*instance.Instance, dftp.Tuple, float64, error) {
 	var tup dftp.Tuple
 	inst := inline
 	if inst == nil {
@@ -191,7 +213,7 @@ func resolveInstance(inline *instance.Instance, family string, n int, param floa
 				ErrBadRequest, tup.Ell, tup.Rho, tup.N)
 		}
 	} else {
-		tup = dftp.TupleFor(inst)
+		tup = dftp.TupleForIn(m, inst)
 	}
 	if budget < 0 {
 		budget = 0
@@ -200,17 +222,18 @@ func resolveInstance(inline *instance.Instance, family string, n int, param floa
 }
 
 // shapeKey is the memo key of a family-generated request: every scalar that
-// determines the content hash, without materializing the instance. Inline
-// instances are not memoized (their hash already requires walking the
-// points, so there is nothing to save).
-func shapeKey(solverName string, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64) (string, bool) {
+// determines the content hash — including the metric's canonical name —
+// without materializing the instance. Inline instances are not memoized
+// (their hash already requires walking the points, so there is nothing to
+// save).
+func shapeKey(solverName string, m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64) (string, bool) {
 	if inline != nil || family == "" {
 		return "", false
 	}
 	if budget <= 0 {
 		budget = 0
 	}
-	key := fmt.Sprintf("%s|%s|%d|%x|%d|%x", solverName, strings.ToLower(family), n,
+	key := fmt.Sprintf("%s|%s|%s|%d|%x|%d|%x", solverName, geom.MetricOrL2(m).Name(), strings.ToLower(family), n,
 		math.Float64bits(param), seed, math.Float64bits(budget))
 	if tupJSON != nil {
 		key += fmt.Sprintf("|t%x,%x,%d", math.Float64bits(tupJSON.Ell), math.Float64bits(tupJSON.Rho), tupJSON.N)
@@ -218,28 +241,30 @@ func shapeKey(solverName string, inline *instance.Instance, family string, n int
 	return key, true
 }
 
-// resolved is a solve request after validation: concrete algorithm,
+// resolved is a solve request after validation: concrete algorithm, metric,
 // instance, tuple, budget, and the content hash they determine.
 type resolved struct {
 	hash   string
 	alg    dftp.Algorithm
+	metric geom.Metric
 	inst   *instance.Instance
 	tup    dftp.Tuple
 	budget float64
 }
 
 // resolve materializes the instance of req for the given (already
-// validated) algorithm, derives the tuple, and computes the request hash.
-// All failures wrap ErrBadRequest.
-func resolve(alg dftp.Algorithm, req SolveRequest) (resolved, error) {
+// validated) algorithm and metric, derives the tuple, and computes the
+// request hash. All failures wrap ErrBadRequest.
+func resolve(alg dftp.Algorithm, m geom.Metric, req SolveRequest) (resolved, error) {
 	var r resolved
-	inst, tup, budget, err := resolveInstance(req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	inst, tup, budget, err := resolveInstance(m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
 	if err != nil {
 		return r, err
 	}
 	return resolved{
-		hash:   instance.HashRequest(alg.Name(), inst, tup.Ell, tup.Rho, tup.N, budget),
+		hash:   instance.HashRequestIn(m, alg.Name(), inst, tup.Ell, tup.Rho, tup.N, budget),
 		alg:    alg,
+		metric: m,
 		inst:   inst,
 		tup:    tup,
 		budget: budget,
@@ -250,6 +275,7 @@ func resolve(alg dftp.Algorithm, req SolveRequest) (resolved, error) {
 type resolvedPortfolio struct {
 	hash   string
 	pf     portfolio.Portfolio
+	metric geom.Metric
 	inst   *instance.Instance
 	tup    dftp.Tuple
 	budget float64
@@ -289,16 +315,17 @@ func portfolioFor(req PortfolioRequest) (portfolio.Portfolio, error) {
 }
 
 // resolvePortfolio materializes the instance of req for the given (already
-// validated) portfolio and computes the request hash.
-func resolvePortfolio(pf portfolio.Portfolio, req PortfolioRequest) (resolvedPortfolio, error) {
+// validated) portfolio and metric and computes the request hash.
+func resolvePortfolio(pf portfolio.Portfolio, m geom.Metric, req PortfolioRequest) (resolvedPortfolio, error) {
 	var r resolvedPortfolio
-	inst, tup, budget, err := resolveInstance(req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	inst, tup, budget, err := resolveInstance(m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
 	if err != nil {
 		return r, err
 	}
 	return resolvedPortfolio{
-		hash:   instance.HashRequest(pf.Name(), inst, tup.Ell, tup.Rho, tup.N, budget),
+		hash:   instance.HashRequestIn(m, pf.Name(), inst, tup.Ell, tup.Rho, tup.N, budget),
 		pf:     pf,
+		metric: m,
 		inst:   inst,
 		tup:    tup,
 		budget: budget,
@@ -318,13 +345,17 @@ func (s *Service) Solve(req SolveRequest) (Solved, error) {
 	if err != nil {
 		return Solved{}, err
 	}
-	key, keyed := shapeKey(alg.Name(), req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	m, err := parseMetric(req.Metric)
+	if err != nil {
+		return Solved{}, err
+	}
+	key, keyed := shapeKey(alg.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
 			return sv, err
 		}
 	}
-	r, err := resolve(alg, req)
+	r, err := resolve(alg, m, req)
 	if err != nil {
 		return Solved{}, err
 	}
@@ -335,12 +366,12 @@ func (s *Service) Solve(req SolveRequest) (Solved, error) {
 			rec = trace.New()
 			traceFn = rec.Record
 		}
-		res, rep, err := dftp.SolveTraced(r.alg, r.inst, r.tup, r.budget, traceFn)
+		res, rep, err := dftp.SolveIn(context.Background(), r.metric, r.alg, r.inst, r.tup, r.budget, traceFn)
 		s.solves.Add(1)
 		if err != nil {
 			return nil, err
 		}
-		body, err := json.Marshal(NewSolveResponse(r.hash, r.alg, r.inst, r.tup, r.budget, res, rep))
+		body, err := json.Marshal(NewSolveResponse(r.hash, r.alg, r.metric, r.inst, r.tup, r.budget, res, rep))
 		if err != nil {
 			return nil, err
 		}
@@ -350,7 +381,7 @@ func (s *Service) Solve(req SolveRequest) (Solved, error) {
 		}
 		return ent.sized(), nil
 	}
-	return s.startOrJoin(r.hash, key, run)
+	return s.startOrJoin(r.hash, key, 1, run)
 }
 
 // SolvePortfolio serves one portfolio race with the same cache-first /
@@ -363,32 +394,43 @@ func (s *Service) SolvePortfolio(req PortfolioRequest) (Solved, error) {
 	if err != nil {
 		return Solved{}, err
 	}
-	key, keyed := shapeKey(pf.Name(), req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	m, err := parseMetric(req.Metric)
+	if err != nil {
+		return Solved{}, err
+	}
+	key, keyed := shapeKey(pf.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
 			return sv, err
 		}
 	}
-	r, err := resolvePortfolio(pf, req)
+	r, err := resolvePortfolio(pf, m, req)
 	if err != nil {
 		return Solved{}, err
 	}
 	run := func() (*entry, error) {
 		res, err := portfolio.Race(r.pf, r.inst, r.tup, r.budget,
-			portfolio.Options{Workers: s.cfg.Workers, Trace: !s.cfg.DropTraces})
+			portfolio.Options{Workers: s.cfg.Workers, Trace: !s.cfg.DropTraces, Metric: r.metric})
 		s.races.Add(1)
 		if err != nil {
 			return nil, err
 		}
 		s.solves.Add(int64(len(r.pf.Algorithms) - res.Aborted))
 		s.racersCancelled.Add(int64(res.Cancelled))
-		body, err := json.Marshal(NewPortfolioResponse(r.hash, r.pf, r.inst, r.tup, r.budget, res))
+		body, err := json.Marshal(NewPortfolioResponse(r.hash, r.pf, r.metric, r.inst, r.tup, r.budget, res))
 		if err != nil {
 			return nil, err
 		}
 		return (&entry{hash: r.hash, body: body, events: res.Events}).sized(), nil
 	}
-	return s.startOrJoin(r.hash, key, run)
+	// A k-entrant race runs min(k, Workers) simulations concurrently inside
+	// its worker slot; admission accounts for that width so a burst of
+	// portfolio requests cannot oversubscribe the host.
+	width := len(r.pf.Algorithms)
+	if width > s.cfg.Workers {
+		width = s.cfg.Workers
+	}
+	return s.startOrJoin(r.hash, key, width, run)
 }
 
 // memoLookup serves a request whose shape key is already memoized: a cache
@@ -428,9 +470,18 @@ func (s *Service) memoLookup(key string) (sv Solved, handled bool, err error) {
 
 // startOrJoin is the cache-first core shared by Solve and SolvePortfolio:
 // serve the hash from the cache, join an identical in-flight job, or queue
-// run as a new job. memoKey, when non-empty, is recorded so future requests
-// of the same shape skip instance materialization.
-func (s *Service) startOrJoin(hash, memoKey string, run func() (*entry, error)) (Solved, error) {
+// run as a new job of the given admission width. memoKey, when non-empty, is
+// recorded so future requests of the same shape skip instance
+// materialization.
+//
+// Admission is width-weighted: the sum of admitted-but-uncompleted widths is
+// capped at QueueDepth+Workers (exactly the old queued+running limit when
+// every job has width 1), so k-entrant races reserve k effective slots and
+// shed under load like k solves would.
+func (s *Service) startOrJoin(hash, memoKey string, width int, run func() (*entry, error)) (Solved, error) {
+	if width < 1 {
+		width = 1
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -455,11 +506,17 @@ func (s *Service) startOrJoin(hash, memoKey string, run func() (*entry, error)) 
 		s.coalesced.Add(1)
 		return Solved{Hash: hash, Body: c.ent.body, Hit: true}, nil
 	}
+	if s.queueWeight+width > s.cfg.QueueDepth+s.cfg.Workers {
+		s.mu.Unlock()
+		s.shed.Add(1)
+		return Solved{}, ErrQueueFull
+	}
 	c := &call{done: make(chan struct{})}
 	s.inflight[hash] = c
-	j := &job{hash: hash, call: c, run: run}
+	j := &job{hash: hash, width: width, call: c, run: run}
 	select {
 	case s.jobs <- j:
+		s.queueWeight += width
 		s.mu.Unlock()
 	default:
 		delete(s.inflight, hash)
@@ -490,6 +547,7 @@ func (s *Service) worker() {
 			s.cache.add(ent.hash, ent)
 		}
 		delete(s.inflight, j.hash)
+		s.queueWeight -= j.width
 		s.mu.Unlock()
 		j.call.ent, j.call.err = ent, err
 		close(j.call.done)
@@ -528,6 +586,7 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	cacheLen := s.cache.len()
 	cacheBytes := s.cache.total
+	queueWeight := s.queueWeight
 	s.mu.Unlock()
 	st := Stats{
 		Hits:            s.hits.Load(),
@@ -540,6 +599,8 @@ func (s *Service) Stats() Stats {
 		MemoHits:        s.memoHits.Load(),
 		QueueDepth:      len(s.jobs),
 		QueueCapacity:   s.cfg.QueueDepth,
+		QueueWeight:     queueWeight,
+		AdmissionCap:    s.cfg.QueueDepth + s.cfg.Workers,
 		CacheLen:        cacheLen,
 		CacheBytes:      cacheBytes,
 		CacheCapacity:   s.cfg.CacheBytes,

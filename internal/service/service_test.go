@@ -437,7 +437,7 @@ func TestResponseMatchesDirectSolve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := resolve(alg, walkRequest(12))
+	r, err := resolve(alg, nil, walkRequest(12))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"freezetag/internal/dftp"
+	"freezetag/internal/geom"
 	"freezetag/internal/instance"
 	"freezetag/internal/portfolio"
 	"freezetag/internal/sim"
@@ -19,6 +20,7 @@ import (
 // supplied.
 type SolveRequest struct {
 	Algorithm string             `json:"algorithm"`
+	Metric    string             `json:"metric,omitempty"` // l1 | l2 | linf | lp:<p>; empty = l2
 	Instance  *instance.Instance `json:"instance,omitempty"`
 	Family    string             `json:"family,omitempty"`
 	N         int                `json:"n,omitempty"`
@@ -41,6 +43,7 @@ type TupleJSON struct {
 type SolveResponse struct {
 	Hash        string    `json:"hash"`
 	Algorithm   string    `json:"algorithm"`
+	Metric      string    `json:"metric"`
 	Instance    string    `json:"instance"`
 	N           int       `json:"n"`
 	Tuple       TupleJSON `json:"tuple"`
@@ -61,15 +64,17 @@ type SolveResponse struct {
 type Named interface{ Name() string }
 
 // NewSolveResponse assembles the shared response struct from a solve's
-// inputs and outputs. Budgets ≤ 0 are canonicalized to 0 (unconstrained),
-// matching the request hash.
-func NewSolveResponse(hash string, alg Named, in *instance.Instance, tup dftp.Tuple, budget float64, res sim.Result, rep *dftp.Report) SolveResponse {
+// inputs and outputs. Budgets ≤ 0 are canonicalized to 0 (unconstrained)
+// and the metric to its canonical name ("l2" when nil), matching the
+// request hash.
+func NewSolveResponse(hash string, alg Named, m geom.Metric, in *instance.Instance, tup dftp.Tuple, budget float64, res sim.Result, rep *dftp.Report) SolveResponse {
 	if budget <= 0 {
 		budget = 0
 	}
 	return SolveResponse{
 		Hash:        hash,
 		Algorithm:   alg.Name(),
+		Metric:      geom.MetricOrL2(m).Name(),
 		Instance:    in.Name,
 		N:           in.N(),
 		Tuple:       TupleJSON{Ell: tup.Ell, Rho: tup.Rho, N: tup.N},
@@ -96,6 +101,7 @@ func NewSolveResponse(hash string, alg Named, in *instance.Instance, tup dftp.Tu
 type PortfolioRequest struct {
 	Algorithms []string           `json:"algorithms"`
 	Objective  string             `json:"objective,omitempty"`
+	Metric     string             `json:"metric,omitempty"` // l1 | l2 | linf | lp:<p>; empty = l2
 	Instance   *instance.Instance `json:"instance,omitempty"`
 	Family     string             `json:"family,omitempty"`
 	N          int                `json:"n,omitempty"`
@@ -138,14 +144,14 @@ type PortfolioResponse struct {
 }
 
 // NewPortfolioResponse assembles the wire response from a race outcome.
-func NewPortfolioResponse(hash string, pf portfolio.Portfolio, in *instance.Instance, tup dftp.Tuple, budget float64, res *portfolio.Result) PortfolioResponse {
+func NewPortfolioResponse(hash string, pf portfolio.Portfolio, m geom.Metric, in *instance.Instance, tup dftp.Tuple, budget float64, res *portfolio.Result) PortfolioResponse {
 	obj := pf.Objective
 	if obj == nil {
 		obj = portfolio.MinMakespan{}
 	}
 	winner := res.Racers[res.Winner]
 	out := PortfolioResponse{
-		SolveResponse: NewSolveResponse(hash, pf, in, tup, budget, res.Res, res.Rep),
+		SolveResponse: NewSolveResponse(hash, pf, m, in, tup, budget, res.Res, res.Rep),
 		Objective:     obj.Name(),
 		Winner:        winner.Algorithm,
 		Satisfied:     res.Satisfied,
@@ -199,6 +205,8 @@ type Stats struct {
 	HitRate         float64 `json:"hitRate"`         // (hits+coalesced) / (hits+coalesced+misses)
 	QueueDepth      int     `json:"queueDepth"`
 	QueueCapacity   int     `json:"queueCapacity"`
+	QueueWeight     int     `json:"queueWeight"`  // admitted effective slots (width-weighted, queued + running)
+	AdmissionCap    int     `json:"admissionCap"` // queueWeight ceiling: queueCapacity + workers
 	CacheLen        int     `json:"cacheLen"`        // entries currently cached
 	CacheBytes      int64   `json:"cacheBytes"`      // approximate retained bytes
 	CacheCapacity   int64   `json:"cacheCapacity"`   // cache budget in bytes

@@ -22,6 +22,10 @@ type Config struct {
 	// Budget is the per-robot energy budget B. Zero or negative means
 	// unconstrained (stored as +Inf).
 	Budget float64
+	// Metric is the distance the whole model is measured in: travel times,
+	// energy, and the radius-1 Look. Nil means Euclidean (ℓ2), the paper's
+	// setting.
+	Metric geom.Metric
 	// Trace, when non-nil, receives every simulation event in order.
 	Trace func(Event)
 }
@@ -43,6 +47,7 @@ type Event struct {
 type Engine struct {
 	now    float64
 	seq    int64
+	metric geom.Metric
 	robots []*Robot
 
 	sleeping *spatial.Grid // indexes robots by id while asleep (look radius 1)
@@ -114,9 +119,11 @@ func NewEngine(cfg Config) *Engine {
 	if budget <= 0 {
 		budget = math.Inf(1)
 	}
+	metric := geom.MetricOrL2(cfg.Metric)
 	e := &Engine{
-		sleeping: spatial.NewGrid(1),
-		awake:    spatial.NewGrid(1),
+		metric:   metric,
+		sleeping: spatial.NewGridIn(metric, 1),
+		awake:    spatial.NewGridIn(metric, 1),
 		park:     make(chan parkMsg),
 		barriers: make(map[string]*barrier),
 		parked:   make(map[*Proc]struct{}),
@@ -136,6 +143,13 @@ func NewEngine(cfg Config) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() float64 { return e.now }
+
+// Metric returns the distance the run is measured in. Algorithm code must
+// compute all travel and visibility distances through it.
+func (e *Engine) Metric() geom.Metric { return e.metric }
+
+// dist is the engine-level distance between two points under the run metric.
+func (e *Engine) dist(p, q geom.Point) float64 { return e.metric.Dist(p, q) }
 
 // Robot returns the robot with the given id; it panics on unknown ids, which
 // are always a programming error in algorithm code.

@@ -77,21 +77,18 @@ func (e *ErrBudget) Error() string {
 }
 
 // MoveTo moves the robot in a straight line to dst at unit speed, blocking
-// for virtual time equal to the distance. If the move would exceed the energy
+// for virtual time equal to the metric distance (straight segments are
+// geodesics of every supported metric). If the move would exceed the energy
 // budget the robot advances as far as its budget allows, is halted, and an
 // *ErrBudget is returned.
 func (p *Proc) MoveTo(dst geom.Point) error {
-	d := p.r.pos.Dist(dst)
+	d := p.eng.dist(p.r.pos, dst)
 	if d <= geom.Eps {
 		return nil
 	}
 	if left := p.r.remaining(); d > left+geom.Eps {
 		// Partial move to budget exhaustion, then halt.
-		frac := 0.0
-		if d > 0 && left > 0 {
-			frac = left / d
-		}
-		stop := p.r.pos.Lerp(dst, frac)
+		stop := geom.MoveToward(p.eng.metric, p.r.pos, dst, left)
 		if left > 0 {
 			p.yieldAt(p.eng.now + left)
 			p.eng.moveRobot(p.r, stop, left)
@@ -148,8 +145,8 @@ type Sighting struct {
 	Pos geom.Point
 }
 
-// Look performs a discrete snapshot: all robots within Euclidean distance 1
-// of the caller, in ascending id order. The caller itself is excluded.
+// Look performs a discrete snapshot: all robots within metric distance 1 of
+// the caller, in ascending id order. The caller itself is excluded.
 func (p *Proc) Look() Snapshot {
 	var snap Snapshot
 	for _, id := range p.eng.sleepingWithin(p.r.pos, 1) {
@@ -193,7 +190,7 @@ func (p *Proc) Wake(id int, handler func(*Proc)) {
 // ids that completed the move (the caller is not listed). A caller budget
 // exhaustion returns the error and moves nobody further.
 func (p *Proc) Escort(ids []int, dst geom.Point) ([]int, error) {
-	d := p.r.pos.Dist(dst)
+	d := p.eng.dist(p.r.pos, dst)
 	for _, id := range ids {
 		r := p.eng.Robot(id)
 		if r.state != Awake {
@@ -213,11 +210,7 @@ func (p *Proc) Escort(ids []int, dst geom.Point) ([]int, error) {
 		if d > r.remaining()+geom.Eps {
 			// Member stops where its budget runs out along the segment.
 			left := r.remaining()
-			frac := 0.0
-			if d > 0 && left > 0 {
-				frac = left / d
-			}
-			stop := r.pos.Lerp(dst, frac)
+			stop := geom.MoveToward(p.eng.metric, r.pos, dst, left)
 			p.eng.moveRobot(r, stop, left)
 			r.stopped = true
 			e := &ErrBudget{Robot: id, Needed: d, Left: left}

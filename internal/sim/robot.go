@@ -9,8 +9,10 @@
 // programming model of concurrent robots without nondeterminism.
 //
 // Model facts enforced here, matching §1.2 of the paper:
-//   - robots move at unit speed (moving distance δ takes time δ);
-//   - snapshots are discrete: Look returns robots within Euclidean distance 1
+//   - robots move at unit speed (moving distance δ takes time δ), with all
+//     distances measured in the engine's Config.Metric (ℓ2 by default; any
+//     ℓp norm may be plugged in — see geom.Metric);
+//   - snapshots are discrete: Look returns robots within metric distance 1
 //     at the instant of the call, and movement alone discovers nothing;
 //   - waking and variable exchange require co-location;
 //   - sleeping robots do nothing until awakened;

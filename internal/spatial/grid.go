@@ -12,25 +12,41 @@ import (
 
 // Grid indexes items identified by int IDs at points in the plane, bucketed
 // into square cells of a fixed size. Query cost is proportional to the number
-// of items in the cells overlapping the query disk.
+// of items in the cells overlapping the query ball.
+//
+// Radius queries and nearest-neighbor searches are evaluated under the grid's
+// metric (ℓ2 unless built with NewGridIn). The cell bookkeeping itself is
+// metric-independent: a metric ball of radius r is always contained in the
+// axis-aligned square of half-width r because every supported metric
+// dominates the Chebyshev distance (see geom.Metric).
 //
 // Grid is not safe for concurrent use; the simulator serializes all access.
 type Grid struct {
-	cell  float64
-	items map[int]geom.Point
-	cells map[[2]int]map[int]struct{}
+	cell   float64
+	metric geom.Metric
+	euclid bool // cached IsL2(metric): keeps the Dist2 fast path branch cheap
+	items  map[int]geom.Point
+	cells  map[[2]int]map[int]struct{}
 }
 
-// NewGrid builds an empty grid with the given cell size. The cell size should
-// be of the order of the most common query radius; it must be positive.
-func NewGrid(cellSize float64) *Grid {
+// NewGrid builds an empty Euclidean grid with the given cell size. The cell
+// size should be of the order of the most common query radius; it must be
+// positive.
+func NewGrid(cellSize float64) *Grid { return NewGridIn(nil, cellSize) }
+
+// NewGridIn builds an empty grid whose radius and nearest queries measure
+// under m (nil defaults to ℓ2).
+func NewGridIn(m geom.Metric, cellSize float64) *Grid {
 	if cellSize <= 0 {
 		panic("spatial: cell size must be positive")
 	}
+	metric := geom.MetricOrL2(m)
 	return &Grid{
-		cell:  cellSize,
-		items: make(map[int]geom.Point),
-		cells: make(map[[2]int]map[int]struct{}),
+		cell:   cellSize,
+		metric: metric,
+		euclid: geom.IsL2(metric),
+		items:  make(map[int]geom.Point),
+		cells:  make(map[[2]int]map[int]struct{}),
 	}
 }
 
@@ -39,6 +55,9 @@ func (g *Grid) Len() int { return len(g.items) }
 
 // CellSize returns the configured cell size.
 func (g *Grid) CellSize() float64 { return g.cell }
+
+// Metric returns the metric the grid's queries measure under.
+func (g *Grid) Metric() geom.Metric { return g.metric }
 
 func (g *Grid) key(p geom.Point) [2]int {
 	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
@@ -85,9 +104,10 @@ func (g *Grid) At(id int) (geom.Point, bool) {
 	return p, ok
 }
 
-// Within appends to dst the ids of all items within Euclidean distance r of
-// p (closed disk, geom.Eps slack) and returns the extended slice. Results
-// are in unspecified order.
+// Within appends to dst the ids of all items within metric distance r of p
+// (closed ball, geom.Eps slack) and returns the extended slice. Results are
+// in unspecified order. The scanned cell range is the bounding square of the
+// ball, which covers the metric ball of every supported metric.
 func (g *Grid) Within(dst []int, p geom.Point, r float64) []int {
 	if r < 0 {
 		return dst
@@ -100,7 +120,13 @@ func (g *Grid) Within(dst []int, p geom.Point, r float64) []int {
 	for cx := minX; cx <= maxX; cx++ {
 		for cy := minY; cy <= maxY; cy++ {
 			for id := range g.cells[[2]int{cx, cy}] {
-				if g.items[id].Dist2(p) <= r2 {
+				if g.euclid {
+					// Squared-distance fast path, bit-identical to the
+					// pre-metric grid.
+					if g.items[id].Dist2(p) <= r2 {
+						dst = append(dst, id)
+					}
+				} else if geom.WithinIn(g.metric, g.items[id], p, r) {
 					dst = append(dst, id)
 				}
 			}
@@ -128,14 +154,15 @@ func (g *Grid) InRect(dst []int, r geom.Rect) []int {
 	return dst
 }
 
-// Nearest returns the id of the indexed item closest to p, excluding ids for
-// which skip returns true, along with its distance. ok is false when no
-// eligible item exists. skip may be nil.
+// Nearest returns the id of the indexed item closest to p under the grid's
+// metric, excluding ids for which skip returns true, along with its distance.
+// ok is false when no eligible item exists. skip may be nil.
 //
 // The search expands square rings of cells outward from p. Once a candidate
 // is found at distance d, the search only needs to continue until the ring
-// boundary exceeds d; the ring count is additionally capped by the extent of
-// populated cells, so the loop always terminates.
+// boundary exceeds d (any item in ring k is at Chebyshev distance, hence at
+// metric distance, > (k−1)·cell); the ring count is additionally capped by
+// the extent of populated cells, so the loop always terminates.
 func (g *Grid) Nearest(p geom.Point, skip func(id int) bool) (id int, dist float64, ok bool) {
 	if len(g.items) == 0 {
 		return 0, 0, false
@@ -156,7 +183,7 @@ func (g *Grid) Nearest(p geom.Point, skip func(id int) bool) (id int, dist float
 					if skip != nil && skip(id) {
 						continue
 					}
-					if d := g.items[id].Dist(p); d < best {
+					if d := g.metric.Dist(g.items[id], p); d < best {
 						best, bestID, found = d, id, true
 					}
 				}

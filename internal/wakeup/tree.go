@@ -35,9 +35,19 @@ type Target struct {
 }
 
 // BuildTree builds a wake-up tree over targets for a robot starting at
-// start. It returns nil for an empty target set. The tree's makespan from
-// start is O(diam(targets ∪ {start})): see the package comment.
+// start, greedy under the Euclidean metric. It returns nil for an empty
+// target set. The tree's makespan from start is O(diam(targets ∪ {start})):
+// see the package comment.
 func BuildTree(start geom.Point, targets []Target) *Node {
+	return BuildTreeIn(nil, start, targets)
+}
+
+// BuildTreeIn is BuildTree with the nearest-target greedy measured under
+// metric m (nil defaults to ℓ2). The recursion's region bisection is
+// axis-aligned and works unchanged for every supported metric; since all ℓp
+// distances are within a constant factor of each other in the plane, the
+// O(diam) makespan guarantee carries over with the metric's constant.
+func BuildTreeIn(m geom.Metric, start geom.Point, targets []Target) *Node {
 	if len(targets) == 0 {
 		return nil
 	}
@@ -48,12 +58,12 @@ func BuildTree(start geom.Point, targets []Target) *Node {
 	}
 	region := geom.BoundingRect(pts)
 	ts := append([]Target(nil), targets...)
-	return build(ts, region, start)
+	return build(geom.MetricOrL2(m), ts, region, start)
 }
 
 // build constructs the subtree for the targets inside region, to be woken by
 // a robot currently at from. It owns (and may reorder) ts.
-func build(ts []Target, region geom.Rect, from geom.Point) *Node {
+func build(m geom.Metric, ts []Target, region geom.Rect, from geom.Point) *Node {
 	if len(ts) == 0 {
 		return nil
 	}
@@ -61,7 +71,7 @@ func build(ts []Target, region geom.Rect, from geom.Point) *Node {
 	nearest := 0
 	bd := math.Inf(1)
 	for i, t := range ts {
-		if d := from.Dist(t.Pos); d < bd ||
+		if d := m.Dist(from, t.Pos); d < bd ||
 			(d == bd && (t.ID < ts[nearest].ID)) {
 			nearest, bd = i, d
 		}
@@ -76,7 +86,7 @@ func build(ts []Target, region geom.Rect, from geom.Point) *Node {
 	// bisection cannot separate them. Chain the remaining targets; every
 	// edge has length ≈ 0 so the makespan is unaffected.
 	if region.Diam() <= 4*geom.Eps {
-		child := build(rest, region, node.Pos)
+		child := build(m, rest, region, node.Pos)
 		if child != nil {
 			node.Children = append(node.Children, child)
 		}
@@ -91,8 +101,8 @@ func build(ts []Target, region geom.Rect, from geom.Point) *Node {
 			in2 = append(in2, t)
 		}
 	}
-	c1 := build(in1, r1, node.Pos)
-	c2 := build(in2, r2, node.Pos)
+	c1 := build(m, in1, r1, node.Pos)
+	c2 := build(m, in2, r2, node.Pos)
 	// Children[0] goes to the woken robot, Children[1] stays with the waker.
 	if c1 != nil {
 		node.Children = append(node.Children, c1)
@@ -103,24 +113,30 @@ func build(ts []Target, region geom.Rect, from geom.Point) *Node {
 	return node
 }
 
-// Makespan returns the time to wake the whole tree when the waking robot
-// starts at start and every robot moves at unit speed: the node's wake time
-// is the arrival time of its waker, and after a wake both robots proceed in
-// parallel per Algorithm 1.
+// Makespan returns the time to wake the whole tree under Euclidean travel.
 func Makespan(start geom.Point, root *Node) float64 {
+	return MakespanIn(nil, start, root)
+}
+
+// MakespanIn returns the time to wake the whole tree when the waking robot
+// starts at start and every robot moves at unit speed under metric m: the
+// node's wake time is the arrival time of its waker, and after a wake both
+// robots proceed in parallel per Algorithm 1.
+func MakespanIn(m geom.Metric, start geom.Point, root *Node) float64 {
 	if root == nil {
 		return 0
 	}
-	arrive := start.Dist(root.Pos)
+	mm := geom.MetricOrL2(m)
+	arrive := mm.Dist(start, root.Pos)
 	var sub float64
 	switch len(root.Children) {
 	case 0:
 	case 1:
-		sub = Makespan(root.Pos, root.Children[0])
+		sub = MakespanIn(mm, root.Pos, root.Children[0])
 	default:
 		sub = math.Max(
-			Makespan(root.Pos, root.Children[0]),
-			Makespan(root.Pos, root.Children[1]),
+			MakespanIn(mm, root.Pos, root.Children[0]),
+			MakespanIn(mm, root.Pos, root.Children[1]),
 		)
 	}
 	return arrive + sub
