@@ -208,6 +208,52 @@ func BenchmarkDiskGraph_Params(b *testing.B) {
 	}
 }
 
+// benchConnectivity prices the ℓ* derivation on a generated family at a
+// given size: _Dense is the O(n²) Prim oracle, _Grid the spatial-grid
+// Borůvka that replaced it on the cold path. The two return bit-identical
+// values (asserted by the diskgraph property tests); only the time differs.
+func benchConnectivity(b *testing.B, family string, n int, param float64, dense bool) {
+	b.Helper()
+	in, err := instance.Family(family, n, param, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ell float64
+		if dense {
+			ell = diskgraph.ConnectivityThresholdDenseIn(nil, in.Source, in.Points)
+		} else {
+			ell = diskgraph.ConnectivityThresholdIn(nil, in.Source, in.Points)
+		}
+		if ell <= 0 {
+			b.Fatal("degenerate threshold")
+		}
+	}
+}
+
+func BenchmarkConnectivityThreshold_Dense512(b *testing.B) {
+	benchConnectivity(b, "walk", 512, 0.9, true)
+}
+func BenchmarkConnectivityThreshold_Grid512(b *testing.B) {
+	benchConnectivity(b, "walk", 512, 0.9, false)
+}
+func BenchmarkConnectivityThreshold_Dense4096(b *testing.B) {
+	benchConnectivity(b, "walk", 4096, 0.9, true)
+}
+func BenchmarkConnectivityThreshold_Grid4096(b *testing.B) {
+	benchConnectivity(b, "walk", 4096, 0.9, false)
+}
+
+// The disk family is the well-conditioned case the grid pass is designed
+// around: uniform density, so nearest-foreign queries stay local.
+func BenchmarkConnectivityThreshold_DiskDense4096(b *testing.B) {
+	benchConnectivity(b, "disk", 4096, 64, true)
+}
+func BenchmarkConnectivityThreshold_DiskGrid4096(b *testing.B) {
+	benchConnectivity(b, "disk", 4096, 64, false)
+}
+
 func BenchmarkWakeup_BuildTree(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
 	ts := make([]wakeup.Target, 500)
@@ -345,6 +391,29 @@ func BenchmarkService_SolveCached(b *testing.B) {
 	}
 }
 
+// BenchmarkService_SolveColdRepeatedFamily measures the cold path on a
+// repeated family shape: every iteration changes the budget, so each
+// request hashes differently (a genuine cold solve — resolve + queue +
+// simulate + marshal) but the (family, n, param, seed, metric) shape
+// repeats, so after the first iteration the (ℓ*, ρ*) derivation is served
+// by the params memo.
+func BenchmarkService_SolveColdRepeatedFamily(b *testing.B) {
+	s := service.New(service.Config{QueueDepth: 1, CacheBytes: 1})
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := serviceSolveRequest(0)
+		req.Budget = 1e6 + float64(i)
+		if _, err := s.Solve(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if b.N > 1 && s.Stats().ParamsMemoHits != int64(b.N-1) {
+		b.Fatalf("params memo hits = %d, want %d", s.Stats().ParamsMemoHits, b.N-1)
+	}
+}
+
 // BenchmarkService_PortfolioRace measures a full served four-entrant race
 // (cold, distinct seed per iteration): the third leg of the sim-hot-path
 // baseline snapshotted in BENCH_4.json alongside SolveCold and SolveCached.
@@ -368,18 +437,25 @@ func BenchmarkService_PortfolioRace(b *testing.B) {
 
 // BenchmarkMetric_Dist prices one distance evaluation per metric — the
 // innermost call of every grid query, travel computation, and wake-tree
-// greedy after the pluggable-metric refactor.
+// greedy after the pluggable-metric refactor. lp:3 and lp:4 exercise the
+// integer-exponent fast path (repeated multiplication + single-Pow
+// inverse, bit-identical to the generic formulation); lp:2.5 the generic
+// two-transcendental path.
 func BenchmarkMetric_Dist(b *testing.B) {
-	lp25, err := geom.Lp(2.5)
-	if err != nil {
-		b.Fatal(err)
+	var lps []geom.Metric
+	for _, p := range []float64{2.5, 3, 4} {
+		m, err := geom.Lp(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lps = append(lps, m)
 	}
 	rng := rand.New(rand.NewSource(1))
 	pts := make([]geom.Point, 1024)
 	for i := range pts {
 		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
 	}
-	for _, m := range []geom.Metric{geom.L1, geom.L2, geom.LInf, lp25} {
+	for _, m := range append([]geom.Metric{geom.L1, geom.L2, geom.LInf}, lps...) {
 		b.Run(m.Name(), func(b *testing.B) {
 			var sink float64
 			for i := 0; i < b.N; i++ {

@@ -9,7 +9,6 @@
 package diskgraph
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -43,15 +42,22 @@ func New(source geom.Point, points []geom.Point, delta float64) *Graph {
 // construction is near-linear for bounded density; it degrades gracefully
 // for dense sets.
 func NewIn(m geom.Metric, source geom.Point, points []geom.Point, delta float64) *Graph {
-	m = geom.MetricOrL2(m)
 	pts := make([]geom.Point, 0, len(points)+1)
 	pts = append(pts, source)
 	pts = append(pts, points...)
+	return newFromPts(geom.MetricOrL2(m), pts, delta)
+}
+
+// newFromPts builds the δ-ball graph over an already-assembled vertex slice
+// (taking ownership of it) — the parameter derivation materializes the
+// slice once and shares it between the bottleneck, radius, and eccentricity
+// passes. m must be non-nil.
+func newFromPts(m geom.Metric, pts []geom.Point, delta float64) *Graph {
 	g := &Graph{Pts: pts, Delta: delta, adj: make([][]edge, len(pts))}
 	if delta <= 0 {
 		return g
 	}
-	idx := spatial.NewGridIn(m, delta)
+	idx := spatial.NewGridInCap(m, delta, len(pts))
 	for i, p := range pts {
 		idx.Insert(i, p)
 	}
@@ -118,16 +124,16 @@ func (g *Graph) ShortestDists(src int) []float64 {
 		dist[i] = math.Inf(1)
 	}
 	dist[src] = 0
-	pq := &distHeap{{v: src, d: 0}}
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(distItem)
+	pq := distHeap{{v: src, d: 0}}
+	for len(pq) > 0 {
+		item := pq.pop()
 		if item.d > dist[item.v] {
 			continue
 		}
 		for _, e := range g.adj[item.v] {
 			if nd := item.d + e.w; nd < dist[e.to] {
 				dist[e.to] = nd
-				heap.Push(pq, distItem{v: e.to, d: nd})
+				pq.push(distItem{v: e.to, d: nd})
 			}
 		}
 	}
@@ -183,9 +189,9 @@ func (g *Graph) ShortestPath(src, dst int) []int {
 		prev[i] = -1
 	}
 	dist[src] = 0
-	pq := &distHeap{{v: src, d: 0}}
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(distItem)
+	pq := distHeap{{v: src, d: 0}}
+	for len(pq) > 0 {
+		item := pq.pop()
 		if item.d > dist[item.v] {
 			continue
 		}
@@ -196,7 +202,7 @@ func (g *Graph) ShortestPath(src, dst int) []int {
 			if nd := item.d + e.w; nd < dist[e.to] {
 				dist[e.to] = nd
 				prev[e.to] = item.v
-				heap.Push(pq, distItem{v: e.to, d: nd})
+				pq.push(distItem{v: e.to, d: nd})
 			}
 		}
 	}
@@ -218,16 +224,49 @@ type distItem struct {
 	d float64
 }
 
+// distHeap is a typed binary min-heap by distance. The hand-rolled sift
+// loops perform the same comparisons container/heap would, without boxing
+// every item through an interface on push and pop.
 type distHeap []distItem
 
-func (h distHeap) Len() int            { return len(h) }
-func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
-func (h *distHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+func (h distHeap) less(i, j int) bool { return h[i].d < h[j].d }
+
+func (h *distHeap) push(it distItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }

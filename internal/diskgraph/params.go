@@ -24,15 +24,27 @@ func ComputeParams(source geom.Point, points []geom.Point) Params {
 // metric m (nil defaults to ℓ2). The three parameters are all
 // metric-dependent: the same point set has a different radius, connectivity
 // threshold, and eccentricity under ℓ1, ℓ2 and ℓ∞.
+//
+// The derivation is the solver service's cold path, so it is organized
+// around sharing: the vertex slice is materialized once; ℓ* comes from the
+// grid-accelerated bottleneck pass (near-linear for well-conditioned sets,
+// see ConnectivityThresholdIn); ρ* from the grid-pruned farthest-point
+// scan; and the δ-ball graph is built once, at δ = ℓ*, for ξ. Every value
+// is bit-identical to the dense derivation it replaced.
 func ComputeParamsIn(m geom.Metric, source geom.Point, points []geom.Point) Params {
 	m = geom.MetricOrL2(m)
-	ell := ConnectivityThresholdIn(m, source, points)
-	return Params{
-		Rho: geom.MaxDistFromIn(m, source, points),
-		Ell: ell,
-		Xi:  XiAtIn(m, source, points, ell),
+	pts := make([]geom.Point, 0, len(points)+1)
+	pts = append(pts, source)
+	pts = append(pts, points...)
+	p := Params{
+		Rho: geom.MaxDistFromGridIn(m, source, points),
+		Ell: bottleneckIn(m, pts),
 		N:   len(points),
 	}
+	if len(points) > 0 {
+		p.Xi = newFromPts(m, pts, p.Ell).Eccentricity(0)
+	}
+	return p
 }
 
 // ConnectivityThreshold computes the Euclidean ℓ*.
@@ -41,15 +53,66 @@ func ConnectivityThreshold(source geom.Point, points []geom.Point) float64 {
 }
 
 // ConnectivityThresholdIn computes ℓ* under metric m: the least δ making the
-// δ-ball graph of P ∪ {s} connected. It equals the largest edge weight of the
-// metric minimum spanning tree (the bottleneck connectivity radius), computed
-// with a dense Prim pass in O(n²) time and O(n) memory — exact, and fast
-// enough for the swarm sizes simulated here. Returns 0 when P is empty.
+// δ-ball graph of P ∪ {s} connected. It equals the largest edge weight of
+// the metric minimum spanning tree (the bottleneck connectivity radius).
+// Small inputs run the dense O(n²) Prim pass; large ones a spatial-grid
+// Borůvka whose component-merging edges are found with nearest-foreign-
+// vertex queries — near-linear for well-conditioned point sets, exact for
+// all (see bottleneckGridIn), and bit-identical to the dense pass, which
+// remains available as ConnectivityThresholdDenseIn and serves as the
+// property-test oracle. Returns 0 when P is empty.
 func ConnectivityThresholdIn(m geom.Metric, source geom.Point, points []geom.Point) float64 {
 	m = geom.MetricOrL2(m)
 	pts := make([]geom.Point, 0, len(points)+1)
 	pts = append(pts, source)
 	pts = append(pts, points...)
+	return bottleneckIn(m, pts)
+}
+
+// denseBottleneckCutoff is the vertex count below which the dense Prim pass
+// beats the grid build it would amortize. Purely a performance dispatch:
+// both passes return identical floats.
+const denseBottleneckCutoff = 96
+
+// bottleneckIn computes the bottleneck-MST weight of the complete metric
+// graph over pts, dispatching between the dense and grid passes.
+func bottleneckIn(m geom.Metric, pts []geom.Point) float64 {
+	if len(pts) <= denseBottleneckCutoff {
+		return bottleneckDenseIn(m, pts)
+	}
+	minX, minY, maxX, maxY := math.Inf(1), math.Inf(1), math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	ext := math.Max(maxX-minX, maxY-minY)
+	if ext == 0 {
+		return 0 // every vertex coincides: all edges weigh exactly 0
+	}
+	cell := ext / math.Sqrt(float64(len(pts)))
+	if math.IsNaN(ext) || math.IsInf(ext, 0) || cell == 0 {
+		// Degenerate coordinates: NaN/Inf spreads, or a subnormal extent
+		// whose cell size underflows to 0 (the coordinate divisions would
+		// then overflow int32). Keep the dense pass's exact behavior.
+		return bottleneckDenseIn(m, pts)
+	}
+	return bottleneckGridIn(m, pts, minX, minY, cell)
+}
+
+// ConnectivityThresholdDenseIn is the dense O(n²)-time O(n)-memory Prim
+// pass over the complete metric graph — the oracle the grid pass is
+// cross-checked against, and the fallback for degenerate coordinates.
+func ConnectivityThresholdDenseIn(m geom.Metric, source geom.Point, points []geom.Point) float64 {
+	m = geom.MetricOrL2(m)
+	pts := make([]geom.Point, 0, len(points)+1)
+	pts = append(pts, source)
+	pts = append(pts, points...)
+	return bottleneckDenseIn(m, pts)
+}
+
+func bottleneckDenseIn(m geom.Metric, pts []geom.Point) float64 {
 	n := len(pts)
 	if n <= 1 {
 		return 0

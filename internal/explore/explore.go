@@ -185,17 +185,30 @@ func Rect(p *sim.Proc, memberIDs []int, r geom.Rect, dest geom.Point) (*Result, 
 	return merged, firstErr
 }
 
-// SpiralPlan returns snapshot stops along an Archimedean spiral r = a·θ with
-// a = 1/(2π), starting at the origin `center`, out to radius maxR. Unlike the
-// zigzag lattice, stops on adjacent spiral windings are not aligned, so the
-// winding pitch and arc step are both 1 (not √2): a point midway between
-// windings is then at distance ≤ √(0.5²+0.5²) ≈ 0.71 < 1 from some stop.
-// This is the classic Θ(D²)-cost discovery trajectory for a single robot.
+// SpiralPlan returns snapshot stops along an Archimedean spiral under
+// Euclidean looks; see SpiralPlanIn.
 func SpiralPlan(center geom.Point, maxR float64) Plan {
+	return SpiralPlanIn(nil, center, maxR)
+}
+
+// SpiralPlanIn returns snapshot stops along an Archimedean spiral r = a·θ,
+// starting at the origin `center`, out to radius maxR, with radius-1 looks
+// measured under metric m. Unlike the zigzag lattice, stops on adjacent
+// spiral windings are not aligned, so under ℓ2 the winding pitch and arc
+// step are both 1 (not √2): a point midway between windings is then at
+// Euclidean distance ≤ √(0.5²+0.5²) ≈ 0.71 < 1 from some stop. Under other
+// metrics the worst-case offset square is rotated relative to the metric's
+// unit ball, so the safe generalization scales the pitch by 1/Stretch —
+// the midway point is then within metric distance Stretch·(pitch/√2) =
+// 1/√2 < 1 of some stop, closing the ℓ1 coverage gap the ℓ2-calibrated
+// pitch left open. For metrics that dominate ℓ2 nowhere (Stretch = 1: ℓ2
+// itself, ℓ∞, every ℓp with p ≥ 2) the plan is unchanged. This is the
+// classic Θ(D²)-cost discovery trajectory for a single robot.
+func SpiralPlanIn(m geom.Metric, center geom.Point, maxR float64) Plan {
 	if maxR <= 0 {
 		return Plan{Stops: []geom.Point{center}}
 	}
-	const pitch = 1.0
+	pitch := 1.0 / geom.MetricOrL2(m).Stretch()
 	a := pitch / (2 * math.Pi)
 	stops := []geom.Point{center}
 	theta := 0.0
@@ -214,9 +227,11 @@ func SpiralPlan(center geom.Point, maxR float64) Plan {
 
 // Spiral drives robot p along a spiral from its current position until it
 // sees a sleeping robot (returning its sighting), the spiral exceeds maxR, or
-// the budget runs out. found is false in the latter two cases.
+// the budget runs out. found is false in the latter two cases. The spiral's
+// winding pitch follows the engine's metric (SpiralPlanIn), so discovery
+// coverage holds under non-Euclidean norms too.
 func Spiral(p *sim.Proc, maxR float64) (sim.Sighting, bool, error) {
-	pl := SpiralPlan(p.Self().Pos(), maxR)
+	pl := SpiralPlanIn(p.Engine().Metric(), p.Self().Pos(), maxR)
 	for _, stop := range pl.Stops {
 		if err := p.MoveTo(stop); err != nil {
 			return sim.Sighting{}, false, err

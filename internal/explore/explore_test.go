@@ -227,6 +227,54 @@ func TestSpiralPlanCoverage(t *testing.T) {
 	}
 }
 
+// The discovery pitch is metric-calibrated (1/Stretch): under every
+// supported metric, every point of the spiral's interior must be within
+// metric distance 1 of some stop. Under ℓ1 the old ℓ2-calibrated pitch 1
+// left a ~0.4% coverage gap — this sweep would catch it.
+func TestSpiralPlanCoverageIn(t *testing.T) {
+	lp15, err := geom.Lp(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(78))
+	center := geom.Pt(3, -2)
+	for _, m := range []geom.Metric{geom.L1, geom.L2, geom.LInf, lp15} {
+		pl := SpiralPlanIn(m, center, 6)
+		misses := 0
+		for i := 0; i < 4000; i++ {
+			ang := rng.Float64() * 2 * math.Pi
+			r := rng.Float64() * 5 // stay a winding inside maxR
+			probe := center.Add(geom.Pt(r*math.Cos(ang), r*math.Sin(ang)))
+			if !pl.CoversIn(m, []geom.Point{probe}) {
+				misses++
+				t.Errorf("%s: spiral misses %v (r=%v)", m.Name(), probe, r)
+				if misses > 5 {
+					t.FailNow()
+				}
+			}
+		}
+	}
+}
+
+// The ℓ2 spiral is the same plan it always was (Stretch = 1 ⇒ pitch 1),
+// and the ℓ1 spiral is strictly finer (pitch 1/√2).
+func TestSpiralPlanPitchPerMetric(t *testing.T) {
+	l2 := SpiralPlan(geom.Origin, 4)
+	l2In := SpiralPlanIn(geom.L2, geom.Origin, 4)
+	if len(l2.Stops) != len(l2In.Stops) {
+		t.Fatalf("ℓ2 SpiralPlanIn diverged from SpiralPlan: %d vs %d stops", len(l2In.Stops), len(l2.Stops))
+	}
+	for i := range l2.Stops {
+		if l2.Stops[i] != l2In.Stops[i] {
+			t.Fatalf("ℓ2 stop %d moved: %v vs %v", i, l2In.Stops[i], l2.Stops[i])
+		}
+	}
+	l1 := SpiralPlanIn(geom.L1, geom.Origin, 4)
+	if len(l1.Stops) <= len(l2.Stops) {
+		t.Fatalf("ℓ1 spiral should be finer: %d stops vs ℓ2's %d", len(l1.Stops), len(l2.Stops))
+	}
+}
+
 func TestRectBudgetSurvivesPartially(t *testing.T) {
 	// With a tiny budget the explorer halts but Rect still returns without
 	// deadlock and reports what was seen.

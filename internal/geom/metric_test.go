@@ -158,6 +158,70 @@ func TestMetricStretchBounds(t *testing.T) {
 	}
 }
 
+// lpNormGeneric is the pre-specialization two-Pow formulation of the ℓp
+// norm, kept verbatim as the reference the fast paths must match bit for
+// bit: same factoring, same 1/p division per call.
+func lpNormGeneric(p float64, v Point) float64 {
+	ax, ay := math.Abs(v.X), math.Abs(v.Y)
+	hi := math.Max(ax, ay)
+	if hi == 0 {
+		return 0
+	}
+	lo := math.Min(ax, ay)
+	return hi * math.Pow(1+math.Pow(lo/hi, p), 1/p)
+}
+
+// The integer-exponent fast path (repeated multiplication, precomputed 1/p,
+// single-Pow inverse) must be bit-identical to the generic Pow formulation —
+// this is what lets ℓ*, request hashes, and race winners survive the
+// specialization unchanged. Fuzzed over ordinary coordinates plus extreme
+// magnitudes that push the inner power through the subnormal range.
+func TestLpIntegerFastPathBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Non-integer exponents exercise the generic inner branch; 1.5 drives
+	// the outer inverse through powFrac's y > ½ adjustment (1/p > ½ ⇔ p < 2).
+	exps := []float64{3, 4, 5, 7, 11, 64, 1.5, 2.5, 6.5}
+	scales := []float64{1, 1e-150, 1e-300, 1e150, 1e307}
+	for _, p := range exps {
+		m, err := Lp(p)
+		if err != nil {
+			t.Fatalf("Lp(%g): %v", p, err)
+		}
+		for i := 0; i < 5000; i++ {
+			v := randPt(rng).Scale(scales[i%len(scales)])
+			if i%17 == 0 {
+				v.Y = 0 // axis-aligned: inner power is exactly zero
+			}
+			if i%23 == 0 {
+				v.Y = v.X * 1e-200 // extreme ratio: inner power underflows
+			}
+			got, want := m.Norm(v), lpNormGeneric(p, v)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("lp:%g Norm(%v) = %x, generic Pow formulation = %x", p, v, got, want)
+			}
+		}
+	}
+}
+
+// ipow must replay math.Pow's integral-exponent squaring loop exactly for
+// the whole domain the norm feeds it: ratios in [0, 1], exponents 1..64.
+func TestIpowMatchesPow(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for n := 1; n <= maxIntExponent; n++ {
+		for _, x := range []float64{0, 1, 0.5, 1e-10, 1e-100, 1e-300, math.SmallestNonzeroFloat64} {
+			if got, want := ipow(x, n), math.Pow(x, float64(n)); got != want {
+				t.Fatalf("ipow(%g, %d) = %x, math.Pow = %x", x, n, got, want)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			x := rng.Float64()
+			if got, want := ipow(x, n), math.Pow(x, float64(n)); got != want {
+				t.Fatalf("ipow(%v, %d) = %x, math.Pow = %x", x, n, got, want)
+			}
+		}
+	}
+}
+
 func TestParseMetric(t *testing.T) {
 	good := map[string]string{
 		"":          "l2",

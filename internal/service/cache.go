@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"unsafe"
 
+	"freezetag/internal/dftp"
 	"freezetag/internal/sim"
 )
 
@@ -110,4 +111,13 @@ func newLRU(capBytes int64) *lru[*entry] {
 // strings.
 func newMemoLRU(capacity int) *lru[string] {
 	return newCache(int64(capacity), func(string) int64 { return 1 })
+}
+
+// newParamsLRU builds the family-shape → derived-tuple memo: the (ℓ*, ρ*)
+// derivation is the expensive half of a family request's cold path and
+// depends only on (metric, family, n, param, seed), so repeats of the same
+// family shape — under any algorithm, objective, or budget — skip it.
+// Entry-count bounded: entries are a short string and three scalars.
+func newParamsLRU(capacity int) *lru[dftp.Tuple] {
+	return newCache(int64(capacity), func(dftp.Tuple) int64 { return 1 })
 }

@@ -159,7 +159,7 @@ func TestPortfolioMatchesDirectRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := resolvePortfolio(pf, nil, portfolioRequest(3))
+	r, err := s.resolvePortfolio(pf, nil, portfolioRequest(3))
 	if err != nil {
 		t.Fatal(err)
 	}

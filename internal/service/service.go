@@ -127,6 +127,7 @@ type Service struct {
 	mu       sync.Mutex
 	cache    *lru[*entry]
 	shapes   *lru[string]
+	params   *lru[dftp.Tuple]
 	inflight map[string]*call
 	closed   bool
 	// queueWeight is the admitted-but-uncompleted effective slot count
@@ -143,6 +144,7 @@ type Service struct {
 	races           atomic.Int64
 	racersCancelled atomic.Int64
 	memoHits        atomic.Int64
+	paramsMemoHits  atomic.Int64
 }
 
 // New starts a Service with cfg's worker pool running.
@@ -153,6 +155,7 @@ func New(cfg Config) *Service {
 		jobs:     make(chan *job, cfg.QueueDepth),
 		cache:    newLRU(cfg.CacheBytes),
 		shapes:   newMemoLRU(cfg.memoSize),
+		params:   newParamsLRU(cfg.memoSize),
 		inflight: make(map[string]*call),
 	}
 	s.wg.Add(cfg.Workers)
@@ -191,7 +194,14 @@ func parseMetric(s string) (geom.Metric, error) {
 // (shared by solve and portfolio requests): inline instance wins over
 // family, the tuple defaults to dftp.TupleForIn(metric, instance), budgets
 // ≤ 0 collapse to 0. All failures wrap ErrBadRequest.
-func resolveInstance(m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64) (*instance.Instance, dftp.Tuple, float64, error) {
+//
+// Derived tuples of family-generated requests are memoized under
+// (metric, family, n, param, seed): the derivation walks the whole point
+// set (ℓ*, ρ*, ξ), and the same family shape recurs across algorithms,
+// objectives, and budgets — all of which change the content hash but not
+// the instance. A memo hit turns the cold path's parameter derivation into
+// a map lookup (paramsMemoHits in /statsz).
+func (s *Service) resolveInstance(m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64) (*instance.Instance, dftp.Tuple, float64, error) {
 	var tup dftp.Tuple
 	inst := inline
 	if inst == nil {
@@ -212,6 +222,19 @@ func resolveInstance(m geom.Metric, inline *instance.Instance, family string, n 
 			return nil, tup, 0, fmt.Errorf("%w: tuple (ℓ=%g, ρ=%g, n=%d) is not admissible (need 0 < ℓ ≤ ρ ≤ nℓ)",
 				ErrBadRequest, tup.Ell, tup.Rho, tup.N)
 		}
+	} else if key, ok := paramsKey(m, inline, family, n, param, seed); ok {
+		s.mu.Lock()
+		memo, hit := s.params.get(key)
+		s.mu.Unlock()
+		if hit {
+			s.paramsMemoHits.Add(1)
+			tup = memo
+		} else {
+			tup = dftp.TupleForIn(m, inst)
+			s.mu.Lock()
+			s.params.add(key, tup)
+			s.mu.Unlock()
+		}
 	} else {
 		tup = dftp.TupleForIn(m, inst)
 	}
@@ -219,6 +242,20 @@ func resolveInstance(m geom.Metric, inline *instance.Instance, family string, n 
 		budget = 0
 	}
 	return inst, tup, budget, nil
+}
+
+// paramsKey is the tuple-memo key of a family-generated request: the
+// scalars that determine the generated point set, plus the metric the
+// parameters are measured in. Algorithm, objective, and budget are
+// deliberately absent — they don't affect the derivation. Inline instances
+// are not memoized (deriving their key would walk the points, which is the
+// work the memo saves).
+func paramsKey(m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64) (string, bool) {
+	if inline != nil || family == "" {
+		return "", false
+	}
+	return fmt.Sprintf("%s|%s|%d|%x|%d", geom.MetricOrL2(m).Name(), strings.ToLower(family), n,
+		math.Float64bits(param), seed), true
 }
 
 // shapeKey is the memo key of a family-generated request: every scalar that
@@ -255,9 +292,9 @@ type resolved struct {
 // resolve materializes the instance of req for the given (already
 // validated) algorithm and metric, derives the tuple, and computes the
 // request hash. All failures wrap ErrBadRequest.
-func resolve(alg dftp.Algorithm, m geom.Metric, req SolveRequest) (resolved, error) {
+func (s *Service) resolve(alg dftp.Algorithm, m geom.Metric, req SolveRequest) (resolved, error) {
 	var r resolved
-	inst, tup, budget, err := resolveInstance(m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	inst, tup, budget, err := s.resolveInstance(m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
 	if err != nil {
 		return r, err
 	}
@@ -316,9 +353,9 @@ func portfolioFor(req PortfolioRequest) (portfolio.Portfolio, error) {
 
 // resolvePortfolio materializes the instance of req for the given (already
 // validated) portfolio and metric and computes the request hash.
-func resolvePortfolio(pf portfolio.Portfolio, m geom.Metric, req PortfolioRequest) (resolvedPortfolio, error) {
+func (s *Service) resolvePortfolio(pf portfolio.Portfolio, m geom.Metric, req PortfolioRequest) (resolvedPortfolio, error) {
 	var r resolvedPortfolio
-	inst, tup, budget, err := resolveInstance(m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	inst, tup, budget, err := s.resolveInstance(m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
 	if err != nil {
 		return r, err
 	}
@@ -355,7 +392,7 @@ func (s *Service) Solve(req SolveRequest) (Solved, error) {
 			return sv, err
 		}
 	}
-	r, err := resolve(alg, m, req)
+	r, err := s.resolve(alg, m, req)
 	if err != nil {
 		return Solved{}, err
 	}
@@ -404,7 +441,7 @@ func (s *Service) SolvePortfolio(req PortfolioRequest) (Solved, error) {
 			return sv, err
 		}
 	}
-	r, err := resolvePortfolio(pf, m, req)
+	r, err := s.resolvePortfolio(pf, m, req)
 	if err != nil {
 		return Solved{}, err
 	}
@@ -597,6 +634,7 @@ func (s *Service) Stats() Stats {
 		Races:           s.races.Load(),
 		RacersCancelled: s.racersCancelled.Load(),
 		MemoHits:        s.memoHits.Load(),
+		ParamsMemoHits:  s.paramsMemoHits.Load(),
 		QueueDepth:      len(s.jobs),
 		QueueCapacity:   s.cfg.QueueDepth,
 		QueueWeight:     queueWeight,

@@ -437,7 +437,7 @@ func TestResponseMatchesDirectSolve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := resolve(alg, nil, walkRequest(12))
+	r, err := s.resolve(alg, nil, walkRequest(12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,5 +451,95 @@ func TestResponseMatchesDirectSolve(t *testing.T) {
 	}
 	if resp.Awakened != 24 {
 		t.Fatalf("awakened = %d", resp.Awakened)
+	}
+}
+
+// The params memo must serve the derived tuple for repeats of a family
+// shape — across algorithms and budgets, which change the content hash but
+// not the instance — and must never change the tuple a request resolves to.
+func TestParamsMemoSharedAcrossAlgorithmsAndBudgets(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, CacheBytes: 1})
+
+	cold, err := s.Solve(walkRequest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().ParamsMemoHits; got != 0 {
+		t.Fatalf("first solve of the shape hit the params memo %d times", got)
+	}
+	var coldResp SolveResponse
+	if err := json.Unmarshal(cold.Body, &coldResp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same family shape, different budget and different algorithm: distinct
+	// hashes (cold solves), same derivation.
+	budgeted := walkRequest(3)
+	budgeted.Budget = 1e6
+	other := walkRequest(3)
+	other.Algorithm = "awave"
+	for i, req := range []SolveRequest{budgeted, other} {
+		sv, err := s.Solve(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sv.Hit {
+			t.Fatalf("request %d unexpectedly hit the result cache", i)
+		}
+		if sv.Hash == cold.Hash {
+			t.Fatalf("request %d hashed identically to the base request", i)
+		}
+		var resp SolveResponse
+		if err := json.Unmarshal(sv.Body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Tuple != coldResp.Tuple {
+			t.Fatalf("request %d resolved tuple %+v, want %+v", i, resp.Tuple, coldResp.Tuple)
+		}
+	}
+	if got := s.Stats().ParamsMemoHits; got != 2 {
+		t.Fatalf("paramsMemoHits = %d, want 2", got)
+	}
+
+	// A different seed is a different shape: no hit.
+	if _, err := s.Solve(walkRequest(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().ParamsMemoHits; got != 2 {
+		t.Fatalf("different seed hit the params memo (hits = %d)", got)
+	}
+}
+
+// An explicit tuple override and an inline instance must both bypass the
+// params memo.
+func TestParamsMemoBypasses(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+
+	if _, err := s.Solve(walkRequest(5)); err != nil {
+		t.Fatal(err)
+	}
+	override := walkRequest(5)
+	override.Tuple = &TupleJSON{Ell: 2, Rho: 8, N: 24}
+	sv, err := s.Solve(override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(sv.Body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Tuple != (TupleJSON{Ell: 2, Rho: 8, N: 24}) {
+		t.Fatalf("override tuple not honored: %+v", resp.Tuple)
+	}
+	inst, err := instance.Family("walk", 24, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline := SolveRequest{Algorithm: "agrid", Instance: inst}
+	if _, err := s.Solve(inline); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().ParamsMemoHits; got != 0 {
+		t.Fatalf("paramsMemoHits = %d, want 0 (override and inline must bypass)", got)
 	}
 }

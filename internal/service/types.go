@@ -202,15 +202,16 @@ type Stats struct {
 	Races           int64   `json:"races"`           // portfolio races actually run
 	RacersCancelled int64   `json:"racersCancelled"` // losing racers cancelled by early-stop objectives
 	MemoHits        int64   `json:"memoHits"`        // hits/coalesces served via the shape→hash memo (no instance re-generation)
+	ParamsMemoHits  int64   `json:"paramsMemoHits"`  // cold solves whose (ℓ*, ρ*) derivation was served by the params memo
 	HitRate         float64 `json:"hitRate"`         // (hits+coalesced) / (hits+coalesced+misses)
 	QueueDepth      int     `json:"queueDepth"`
 	QueueCapacity   int     `json:"queueCapacity"`
-	QueueWeight     int     `json:"queueWeight"`  // admitted effective slots (width-weighted, queued + running)
-	AdmissionCap    int     `json:"admissionCap"` // queueWeight ceiling: queueCapacity + workers
-	CacheLen        int     `json:"cacheLen"`        // entries currently cached
-	CacheBytes      int64   `json:"cacheBytes"`      // approximate retained bytes
-	CacheCapacity   int64   `json:"cacheCapacity"`   // cache budget in bytes
-	TracesRetained  bool    `json:"tracesRetained"`  // per-entry event traces kept (GET /v1/trace)
+	QueueWeight     int     `json:"queueWeight"`    // admitted effective slots (width-weighted, queued + running)
+	AdmissionCap    int     `json:"admissionCap"`   // queueWeight ceiling: queueCapacity + workers
+	CacheLen        int     `json:"cacheLen"`       // entries currently cached
+	CacheBytes      int64   `json:"cacheBytes"`     // approximate retained bytes
+	CacheCapacity   int64   `json:"cacheCapacity"`  // cache budget in bytes
+	TracesRetained  bool    `json:"tracesRetained"` // per-entry event traces kept (GET /v1/trace)
 	Workers         int     `json:"workers"`
 }
 

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -60,6 +59,12 @@ type Engine struct {
 	// wait-groups); used for deadlock detection and shutdown.
 	parked map[*Proc]struct{}
 
+	// queryBuf backs the engine-level grid queries (Look's sleeping and
+	// awake scans). The engine runs one process at a time and each query's
+	// result is consumed before the next query, so one buffer serves every
+	// Look of the run without allocating.
+	queryBuf []int
+
 	trace func(Event)
 
 	asleepCount int
@@ -88,23 +93,58 @@ type schedItem struct {
 	p   *Proc
 }
 
+// eventHeap is a typed binary min-heap over (time, sequence). The
+// hand-rolled sift loops perform the same comparisons container/heap would,
+// without boxing every schedItem through an interface on push and pop —
+// the event loop runs one push and one pop per simulation step, which made
+// that boxing one of the simulator's top allocation sites.
 type eventHeap []schedItem
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(schedItem)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *eventHeap) push(it schedItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() schedItem {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 type barrier struct {
@@ -114,30 +154,39 @@ type barrier struct {
 
 // NewEngine builds an engine over the given instance. Robot 0 is the awake
 // source; robots 1..n start asleep at Config.Sleepers.
+//
+// Everything sized by the robot count — the robot records themselves, the
+// spatial indexes, the event heap — is allocated up front in one block
+// each, so a simulation's steady state allocates only per-process resume
+// machinery and whatever the algorithm itself builds.
 func NewEngine(cfg Config) *Engine {
 	budget := cfg.Budget
 	if budget <= 0 {
 		budget = math.Inf(1)
 	}
+	n := len(cfg.Sleepers)
 	metric := geom.MetricOrL2(cfg.Metric)
 	e := &Engine{
 		metric:   metric,
-		sleeping: spatial.NewGridIn(metric, 1),
-		awake:    spatial.NewGridIn(metric, 1),
+		sleeping: spatial.NewGridInCap(metric, 1, n),
+		awake:    spatial.NewGridInCap(metric, 1, n+1),
+		pq:       make(eventHeap, 0, n+2),
 		park:     make(chan parkMsg),
 		barriers: make(map[string]*barrier),
 		parked:   make(map[*Proc]struct{}),
 		trace:    cfg.Trace,
 	}
-	src := &Robot{id: SourceID, initPos: cfg.Source, pos: cfg.Source, state: Awake, budget: budget}
-	e.robots = append(e.robots, src)
+	block := make([]Robot, n+1)
+	e.robots = make([]*Robot, n+1)
+	block[0] = Robot{id: SourceID, initPos: cfg.Source, pos: cfg.Source, state: Awake, budget: budget}
+	e.robots[0] = &block[0]
 	e.awake.Insert(SourceID, cfg.Source)
 	for i, p := range cfg.Sleepers {
-		r := &Robot{id: i + 1, initPos: p, pos: p, state: Asleep, budget: budget}
-		e.robots = append(e.robots, r)
-		e.sleeping.Insert(r.id, p)
+		block[i+1] = Robot{id: i + 1, initPos: p, pos: p, state: Asleep, budget: budget}
+		e.robots[i+1] = &block[i+1]
+		e.sleeping.Insert(i+1, p)
 	}
-	e.asleepCount = len(cfg.Sleepers)
+	e.asleepCount = n
 	return e
 }
 
@@ -196,7 +245,7 @@ func (e *Engine) Spawn(id int, fn func(*Proc)) {
 func (e *Engine) push(p *Proc, t float64) {
 	delete(e.parked, p)
 	e.seq++
-	heap.Push(&e.pq, schedItem{t: t, seq: e.seq, p: p})
+	e.pq.push(schedItem{t: t, seq: e.seq, p: p})
 }
 
 func (e *Engine) emit(ev Event) {
@@ -252,7 +301,7 @@ func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 		done = ctx.Done()
 	}
 	var cancelErr error
-	for e.pq.Len() > 0 {
+	for len(e.pq) > 0 {
 		if done != nil {
 			select {
 			case <-done:
@@ -263,7 +312,7 @@ func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 				break
 			}
 		}
-		it := heap.Pop(&e.pq).(schedItem)
+		it := e.pq.pop()
 		if it.t < e.now-geom.Eps {
 			return Result{}, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, it.t)
 		}
@@ -286,8 +335,8 @@ func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 	if err != nil {
 		// Unwind every scheduled process. Each killed process panics with a
 		// sentinel right after resuming, touching no engine state.
-		for e.pq.Len() > 0 {
-			e.kill(heap.Pop(&e.pq).(schedItem).p)
+		for len(e.pq) > 0 {
+			e.kill(e.pq.pop().p)
 		}
 	}
 	if len(e.parked) > 0 {
@@ -335,17 +384,19 @@ func (e *Engine) result() Result {
 
 // SleepingWithin returns the ids of sleeping robots within distance d of p,
 // sorted ascending. This is the engine-level query behind Look; algorithm
-// code must use Proc.Look, which fixes d = 1.
+// code must use Proc.Look, which fixes d = 1. The returned slice aliases
+// the engine's query buffer: it is valid only until the next engine-level
+// query, and callers that keep ids copy them (Look does).
 func (e *Engine) sleepingWithin(p geom.Point, d float64) []int {
-	ids := e.sleeping.Within(nil, p, d)
-	sort.Ints(ids)
-	return ids
+	e.queryBuf = e.sleeping.Within(e.queryBuf[:0], p, d)
+	sort.Ints(e.queryBuf)
+	return e.queryBuf
 }
 
 func (e *Engine) awakeWithin(p geom.Point, d float64) []int {
-	ids := e.awake.Within(nil, p, d)
-	sort.Ints(ids)
-	return ids
+	e.queryBuf = e.awake.Within(e.queryBuf[:0], p, d)
+	sort.Ints(e.queryBuf)
+	return e.queryBuf
 }
 
 // wake flips robot id to Awake at the current time. Caller guarantees

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"freezetag/internal/geom"
 )
@@ -146,17 +145,26 @@ type Sighting struct {
 }
 
 // Look performs a discrete snapshot: all robots within metric distance 1 of
-// the caller, in ascending id order. The caller itself is excluded.
+// the caller, in ascending id order. The caller itself is excluded. The
+// engine-level queries below share one scratch buffer (each result is
+// consumed before the next query runs); the returned Snapshot owns its
+// slices, sized exactly, so callers may retain it.
 func (p *Proc) Look() Snapshot {
 	var snap Snapshot
-	for _, id := range p.eng.sleepingWithin(p.r.pos, 1) {
-		snap.Asleep = append(snap.Asleep, Sighting{ID: id, Pos: p.eng.Robot(id).pos})
-	}
-	for _, id := range p.eng.awakeWithin(p.r.pos, 1) {
-		if id == p.r.id {
-			continue
+	if ids := p.eng.sleepingWithin(p.r.pos, 1); len(ids) > 0 {
+		snap.Asleep = make([]Sighting, 0, len(ids))
+		for _, id := range ids {
+			snap.Asleep = append(snap.Asleep, Sighting{ID: id, Pos: p.eng.Robot(id).pos})
 		}
-		snap.Awake = append(snap.Awake, Sighting{ID: id, Pos: p.eng.Robot(id).pos})
+	}
+	if ids := p.eng.awakeWithin(p.r.pos, 1); len(ids) > 0 {
+		snap.Awake = make([]Sighting, 0, len(ids)-1)
+		for _, id := range ids {
+			if id == p.r.id {
+				continue
+			}
+			snap.Awake = append(snap.Awake, Sighting{ID: id, Pos: p.eng.Robot(id).pos})
+		}
 	}
 	p.eng.emit(Event{T: p.eng.now, Robot: p.r.id, Kind: "look", Pos: p.r.pos})
 	return snap
@@ -240,10 +248,16 @@ func (p *Proc) Barrier(key string, need int) {
 	}
 	p.eng.emit(Event{T: p.eng.now, Robot: p.r.id, Kind: "barrier", Pos: p.r.pos, Extra: key})
 	if len(b.waiters)+1 == need {
-		// Last arriver releases everyone, sorted for determinism.
+		// Last arriver releases everyone, sorted for determinism. Waiter
+		// lists are team-sized; insertion sort keeps the release path free
+		// of sort.Slice's reflection allocations.
 		ws := b.waiters
 		delete(p.eng.barriers, key)
-		sort.Slice(ws, func(i, j int) bool { return ws[i].r.id < ws[j].r.id })
+		for i := 1; i < len(ws); i++ {
+			for j := i; j > 0 && ws[j].r.id < ws[j-1].r.id; j-- {
+				ws[j], ws[j-1] = ws[j-1], ws[j]
+			}
+		}
 		for _, w := range ws {
 			p.eng.push(w, p.eng.now)
 		}

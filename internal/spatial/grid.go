@@ -1,7 +1,8 @@
 // Package spatial provides a uniform grid hash over the plane supporting
 // near-constant-time radius queries. The simulator uses it to implement the
-// robots' radius-1 "look" primitive without scanning the whole swarm, and
-// the disk-graph builder uses it to enumerate δ-neighbors.
+// robots' radius-1 "look" primitive without scanning the whole swarm, the
+// disk-graph builder uses it to enumerate δ-neighbors, and the connectivity
+// threshold ℓ* is derived with its nearest-neighbor search.
 package spatial
 
 import (
@@ -20,13 +21,23 @@ import (
 // axis-aligned square of half-width r because every supported metric
 // dominates the Chebyshev distance (see geom.Metric).
 //
+// Cells store their members as small slices and are retained (empty) when
+// their last member leaves, so an item oscillating between two cells — the
+// simulator's move loop — allocates nothing in steady state.
+//
 // Grid is not safe for concurrent use; the simulator serializes all access.
 type Grid struct {
 	cell   float64
 	metric geom.Metric
 	euclid bool // cached IsL2(metric): keeps the Dist2 fast path branch cheap
 	items  map[int]geom.Point
-	cells  map[[2]int]map[int]struct{}
+	cells  map[[2]int][]int
+	// Grow-only bounds of every cell that ever held an item: a constant-time
+	// upper bound on useful ring expansion in Nearest (stale-but-larger
+	// bounds only cost extra empty rings when no eligible item exists).
+	hasBounds    bool
+	minCX, maxCX int
+	minCY, maxCY int
 }
 
 // NewGrid builds an empty Euclidean grid with the given cell size. The cell
@@ -37,16 +48,26 @@ func NewGrid(cellSize float64) *Grid { return NewGridIn(nil, cellSize) }
 // NewGridIn builds an empty grid whose radius and nearest queries measure
 // under m (nil defaults to ℓ2).
 func NewGridIn(m geom.Metric, cellSize float64) *Grid {
+	return NewGridInCap(m, cellSize, 0)
+}
+
+// NewGridInCap is NewGridIn with a capacity hint: the item index is sized
+// for n items up front, so bulk loads (the simulator's robot population,
+// the disk-graph vertex set) skip the incremental map growth.
+func NewGridInCap(m geom.Metric, cellSize float64, n int) *Grid {
 	if cellSize <= 0 {
 		panic("spatial: cell size must be positive")
+	}
+	if n < 0 {
+		n = 0
 	}
 	metric := geom.MetricOrL2(m)
 	return &Grid{
 		cell:   cellSize,
 		metric: metric,
 		euclid: geom.IsL2(metric),
-		items:  make(map[int]geom.Point),
-		cells:  make(map[[2]int]map[int]struct{}),
+		items:  make(map[int]geom.Point, n),
+		cells:  make(map[[2]int][]int, n),
 	}
 }
 
@@ -70,12 +91,17 @@ func (g *Grid) Insert(id int, p geom.Point) {
 	}
 	g.items[id] = p
 	k := g.key(p)
-	c := g.cells[k]
-	if c == nil {
-		c = make(map[int]struct{})
-		g.cells[k] = c
+	g.cells[k] = append(g.cells[k], id)
+	if !g.hasBounds {
+		g.hasBounds = true
+		g.minCX, g.maxCX = k[0], k[0]
+		g.minCY, g.maxCY = k[1], k[1]
+		return
 	}
-	c[id] = struct{}{}
+	g.minCX = min(g.minCX, k[0])
+	g.maxCX = max(g.maxCX, k[0])
+	g.minCY = min(g.minCY, k[1])
+	g.maxCY = max(g.maxCY, k[1])
 }
 
 // Remove deletes item id; unknown ids are a no-op.
@@ -90,10 +116,12 @@ func (g *Grid) Remove(id int) {
 
 func (g *Grid) removeFromCell(id int, p geom.Point) {
 	k := g.key(p)
-	if c := g.cells[k]; c != nil {
-		delete(c, id)
-		if len(c) == 0 {
-			delete(g.cells, k)
+	c := g.cells[k]
+	for i, v := range c {
+		if v == id {
+			c[i] = c[len(c)-1]
+			g.cells[k] = c[:len(c)-1] // keep the empty slice for reuse
+			return
 		}
 	}
 }
@@ -119,7 +147,7 @@ func (g *Grid) Within(dst []int, p geom.Point, r float64) []int {
 	r2 := (r + geom.Eps) * (r + geom.Eps)
 	for cx := minX; cx <= maxX; cx++ {
 		for cy := minY; cy <= maxY; cy++ {
-			for id := range g.cells[[2]int{cx, cy}] {
+			for _, id := range g.cells[[2]int{cx, cy}] {
 				if g.euclid {
 					// Squared-distance fast path, bit-identical to the
 					// pre-metric grid.
@@ -144,7 +172,7 @@ func (g *Grid) InRect(dst []int, r geom.Rect) []int {
 	maxY := int(math.Floor(r.Max.Y / g.cell))
 	for cx := minX; cx <= maxX; cx++ {
 		for cy := minY; cy <= maxY; cy++ {
-			for id := range g.cells[[2]int{cx, cy}] {
+			for _, id := range g.cells[[2]int{cx, cy}] {
 				if r.Contains(g.items[id]) {
 					dst = append(dst, id)
 				}
@@ -162,7 +190,7 @@ func (g *Grid) InRect(dst []int, r geom.Rect) []int {
 // is found at distance d, the search only needs to continue until the ring
 // boundary exceeds d (any item in ring k is at Chebyshev distance, hence at
 // metric distance, > (k−1)·cell); the ring count is additionally capped by
-// the extent of populated cells, so the loop always terminates.
+// the grid's populated-cell bounds, so the loop always terminates.
 func (g *Grid) Nearest(p geom.Point, skip func(id int) bool) (id int, dist float64, ok bool) {
 	if len(g.items) == 0 {
 		return 0, 0, false
@@ -179,7 +207,7 @@ func (g *Grid) Nearest(p geom.Point, skip func(id int) bool) (id int, dist float
 					cy > ck[1]-ring && cy < ck[1]+ring {
 					continue // interior cells scanned in earlier rings
 				}
-				for id := range g.cells[[2]int{cx, cy}] {
+				for _, id := range g.cells[[2]int{cx, cy}] {
 					if skip != nil && skip(id) {
 						continue
 					}
@@ -202,25 +230,16 @@ func (g *Grid) Nearest(p geom.Point, skip func(id int) bool) (id int, dist float
 }
 
 // maxRingFrom returns the largest Chebyshev cell-distance from origin cell ck
-// to any populated cell, the upper bound on useful ring expansion.
+// to any cell that ever held an item — the upper bound on useful ring
+// expansion, from the grow-only bounds in constant time.
 func (g *Grid) maxRingFrom(ck [2]int) int {
-	maxRing := 0
-	for k := range g.cells {
-		dx, dy := k[0]-ck[0], k[1]-ck[1]
-		if dx < 0 {
-			dx = -dx
-		}
-		if dy < 0 {
-			dy = -dy
-		}
-		if dx > maxRing {
-			maxRing = dx
-		}
-		if dy > maxRing {
-			maxRing = dy
-		}
+	if !g.hasBounds {
+		return 0
 	}
-	return maxRing
+	ring := max(g.maxCX-ck[0], ck[0]-g.minCX)
+	ring = max(ring, g.maxCY-ck[1])
+	ring = max(ring, ck[1]-g.minCY)
+	return max(ring, 0)
 }
 
 // ForEach calls fn for every (id, point) pair in unspecified order.
