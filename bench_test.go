@@ -490,3 +490,34 @@ func BenchmarkEndToEnd_AGrid_Walk32_Metrics(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEndToEnd_Heterogeneous solves one walk instance homogeneous and
+// at two speed spreads: the deltas are the price of heterogeneity (slower
+// robots stretch simulated time; the discrete-event count barely moves).
+func BenchmarkEndToEnd_Heterogeneous(b *testing.B) {
+	for _, band := range []string{"", "+speedband:0.5", "+speedband:0.25"} {
+		name := "homogeneous"
+		if band != "" {
+			name = band[1:]
+		}
+		in, err := instance.Family("walk"+band, 32, 0.9, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tup := dftp.TupleFor(in)
+		b.Run(name, func(b *testing.B) {
+			var mk float64
+			for i := 0; i < b.N; i++ {
+				res, _, err := freezetag.Solve(freezetag.AGrid, in, tup, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllAwake {
+					b.Fatal("incomplete wake-up")
+				}
+				mk = res.Makespan
+			}
+			b.ReportMetric(mk, "makespan")
+		})
+	}
+}

@@ -9,14 +9,19 @@
 //	         [-algs aseparator,agrid,...] [-objective min-makespan]
 //	         [-instance file.json] [-family line|walk|disk|grid|chain]
 //	         [-n 32] [-param 1.0] [-budget 0] [-seed 1]
+//	         [-profiles "2,1:5,0.5:3"]
 //	         [-trace out.csv] [-json]
 //
-// Without -instance, an instance is generated from -family/-n/-param. With
-// -metric, all distances — travel times, energy, the radius-1 look, and the
-// derived (ℓ, ρ) tuple — are measured in the given ℓp metric (default ℓ2);
-// unknown or degenerate metrics (lp:0, lp:NaN) are rejected up front. With
-// -alg portfolio, the -algs entrants race concurrently under -objective
-// ("min-makespan", "min-energy", "weighted:0.7,0.3",
+// Without -instance, an instance is generated from -family/-n/-param; the
+// family may carry heterogeneity modifiers ("walk+speedband:2+capband:30",
+// see instance.Family). With -metric, all distances — travel times, energy,
+// the radius-1 look, and the derived (ℓ, ρ) tuple — are measured in the
+// given ℓp metric (default ℓ2); unknown or degenerate metrics (lp:0,
+// lp:NaN) are rejected up front. With -profiles, the robots get explicit
+// per-robot capability profiles: a comma-separated "speed[:capacity]" list,
+// one entry per robot, overriding any instance- or modifier-supplied
+// profiles. With -alg portfolio, the -algs entrants race concurrently under
+// -objective ("min-makespan", "min-energy", "weighted:0.7,0.3",
 // "first-under-budget:makespan=120,energy=50") and the winning schedule is
 // reported with per-racer stats. With -json, the result is printed as the
 // solver service's SolveResponse (or PortfolioResponse) — byte-comparable
@@ -29,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"freezetag/internal/dftp"
@@ -59,6 +65,7 @@ func run() error {
 		param    = flag.Float64("param", 1.0, "family parameter (spacing / step / radius)")
 		budget   = flag.Float64("budget", 0, "per-robot energy budget (0 = unconstrained)")
 		seed     = flag.Int64("seed", 1, "random seed for generated instances (and the portfolio's racer streams)")
+		profSpec = flag.String("profiles", "", `per-robot "speed[:capacity]" list, comma-separated (empty = homogeneous)`)
 		traceOut = flag.String("trace", "", "write the event trace as CSV to this file")
 		jsonOut  = flag.Bool("json", false, "print the result as the service's response JSON")
 	)
@@ -72,6 +79,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *profSpec != "" {
+		profiles, err := parseProfiles(*profSpec)
+		if err != nil {
+			return fmt.Errorf("-profiles: %w", err)
+		}
+		inst.Profiles = profiles
+	}
+	if err := inst.ValidateProfiles(); err != nil {
+		return err
+	}
 	// One parameter derivation (O(n²) Prim) serves both the tuple and the
 	// printed params.
 	params := inst.ParamsIn(metric)
@@ -79,6 +96,9 @@ func run() error {
 	if !*jsonOut {
 		fmt.Printf("instance: %s (n=%d)\n", inst.Name, inst.N())
 		fmt.Printf("metric:   %s\n", metric.Name())
+		if inst.Heterogeneous() {
+			fmt.Printf("profiles: %d robots, min speed %.4g\n", len(inst.Profiles), inst.MinSpeed())
+		}
 		fmt.Printf("params:   ℓ*=%.4g ρ*=%.4g ξ=%.4g  tuple=(ℓ=%.4g, ρ=%.4g, n=%d)\n",
 			params.Ell, params.Rho, params.Xi, tup.Ell, tup.Rho, tup.N)
 	}
@@ -226,4 +246,28 @@ func loadOrGenerate(path, family string, n int, param float64, seed int64) (*ins
 		return instance.Load(path)
 	}
 	return instance.Family(family, n, param, seed)
+}
+
+// parseProfiles parses the -profiles spec: a comma-separated list of
+// "speed" or "speed:capacity" entries, one per sleeping robot, e.g.
+// "2,1:5,0.5:3". Validation of the parsed values (speeds finite and > 0)
+// happens in instance.ValidateProfiles.
+func parseProfiles(spec string) ([]instance.Profile, error) {
+	parts := strings.Split(spec, ",")
+	profiles := make([]instance.Profile, 0, len(parts))
+	for i, part := range parts {
+		speedStr, capStr, hasCap := strings.Cut(strings.TrimSpace(part), ":")
+		speed, err := strconv.ParseFloat(speedStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: bad speed %q", i, speedStr)
+		}
+		p := instance.Profile{Speed: speed}
+		if hasCap {
+			if p.Capacity, err = strconv.ParseFloat(capStr, 64); err != nil {
+				return nil, fmt.Errorf("entry %d: bad capacity %q", i, capStr)
+			}
+		}
+		profiles = append(profiles, p)
+	}
+	return profiles, nil
 }

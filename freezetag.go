@@ -208,6 +208,39 @@ func ClusterChain(rng *rand.Rand, clusters, per int, sep, radius float64) *Insta
 	return instance.ClusterChain(rng, clusters, per, sep, radius)
 }
 
+// Family generates an instance from a named workload family ("line", "walk",
+// "disk", "grid", "chain"), optionally with "+"-separated heterogeneity
+// modifiers — "walk+speedband:0.5" draws per-robot speeds in [0.5, 1],
+// "grid+capband:30" per-robot energy capacities in [15, 30] — without
+// perturbing the base point set.
+func Family(name string, n int, param float64, seed int64) (*Instance, error) {
+	return instance.Family(name, n, param, seed)
+}
+
+// FamilyNames lists the workload families Family accepts.
+func FamilyNames() []string { return instance.FamilyNames() }
+
+// --- Heterogeneous robots ----------------------------------------------------
+
+// Profile is one robot's capability profile: Speed scales travel time
+// (distance δ takes time δ/Speed) and Capacity is a private energy budget
+// (≤ 0 inherits the uniform budget). Attach one Profile per sleeping robot
+// via Instance.Profiles; an empty Profiles slice is the homogeneous
+// unit-speed model, byte-identical in hashing and results to instances that
+// predate profiles.
+type Profile = instance.Profile
+
+// UniformProfiles returns n copies of one profile, the explicit spelling of
+// a uniform swarm (hashes differently from no profiles at all — the request
+// records what was asked).
+func UniformProfiles(n int, p Profile) []Profile {
+	ps := make([]Profile, n)
+	for i := range ps {
+		ps[i] = p
+	}
+	return ps
+}
+
 // Params are an instance's exact (ρ*, ℓ*, ξ) values.
 type Params struct {
 	Rho float64 // ρ*: swarm radius

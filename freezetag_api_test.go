@@ -134,3 +134,30 @@ func TestPublicAPIHashRequest(t *testing.T) {
 		t.Fatal("budget 0 and -1 should share a request hash")
 	}
 }
+
+func TestPublicAPIHeterogeneous(t *testing.T) {
+	swarm, err := freezetag.Family("line+speedband:0.5", 10, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swarm.Profiles) != 10 {
+		t.Fatalf("speedband family carries %d profiles, want 10", len(swarm.Profiles))
+	}
+	res, rep, err := freezetag.Solve(freezetag.AGrid, swarm, freezetag.TupleFor(swarm), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAwake || len(rep.Misses) > 0 {
+		t.Fatalf("heterogeneous solve incomplete: awake=%v misses=%v", res.AllAwake, rep.Misses)
+	}
+
+	// Explicit profiles change the request hash; plain instances keep theirs.
+	plain := freezetag.Line(10, 1)
+	tup := freezetag.TupleFor(plain)
+	h1 := freezetag.HashRequest(freezetag.AGrid, plain, tup, 0)
+	prof := freezetag.NewInstance(plain.Name, plain.Source, plain.Points)
+	prof.Profiles = freezetag.UniformProfiles(10, freezetag.Profile{Speed: 0.5})
+	if h2 := freezetag.HashRequest(freezetag.AGrid, prof, tup, 0); h2 == h1 {
+		t.Fatal("profiles did not change the request hash")
+	}
+}

@@ -24,6 +24,7 @@ import (
 // Tracker accumulates look-coverage over a rectangular region at a fixed
 // cell resolution and remembers when each cell was first covered.
 type Tracker struct {
+	m      geom.Metric
 	region geom.Rect
 	cell   float64
 	nx, ny int
@@ -32,8 +33,16 @@ type Tracker struct {
 	firstCover []float64
 }
 
-// NewTracker builds a tracker over region with the given cell size.
+// NewTracker builds a tracker over region with the given cell size and
+// Euclidean looks.
 func NewTracker(region geom.Rect, cell float64) *Tracker {
+	return NewTrackerIn(nil, region, cell)
+}
+
+// NewTrackerIn builds a tracker whose radius-1 looks are measured under
+// metric m (nil defaults to ℓ2), matching a simulation run under the same
+// metric.
+func NewTrackerIn(m geom.Metric, region geom.Rect, cell float64) *Tracker {
 	if cell <= 0 {
 		panic("adversary: cell size must be positive")
 	}
@@ -43,7 +52,7 @@ func NewTracker(region geom.Rect, cell float64) *Tracker {
 	for i := range fc {
 		fc[i] = math.NaN()
 	}
-	return &Tracker{region: region, cell: cell, nx: nx, ny: ny, firstCover: fc}
+	return &Tracker{m: geom.MetricOrL2(m), region: region, cell: cell, nx: nx, ny: ny, firstCover: fc}
 }
 
 func (t *Tracker) cellCenter(ix, iy int) geom.Point {
@@ -54,7 +63,9 @@ func (t *Tracker) cellCenter(ix, iy int) geom.Point {
 }
 
 // Mark records a radius-1 snapshot taken at p at virtual time tm: every cell
-// whose center lies within distance 1 of p is covered.
+// whose center lies within metric distance 1 of p is covered. The scan box
+// p ± 1 bounds the look ball under every supported metric (each dominates
+// the Chebyshev distance, so its unit ball fits the unit square).
 func (t *Tracker) Mark(p geom.Point, tm float64) {
 	minX := int(math.Floor((p.X - 1 - t.region.Min.X) / t.cell))
 	maxX := int(math.Ceil((p.X + 1 - t.region.Min.X) / t.cell))
@@ -66,7 +77,7 @@ func (t *Tracker) Mark(p geom.Point, tm float64) {
 			if !math.IsNaN(t.firstCover[idx]) {
 				continue
 			}
-			if t.cellCenter(ix, iy).Within(p, 1) {
+			if t.m.Dist(t.cellCenter(ix, iy), p) <= 1+geom.Eps {
 				t.firstCover[idx] = tm
 			}
 		}
@@ -75,7 +86,9 @@ func (t *Tracker) Mark(p geom.Point, tm float64) {
 
 // LastCovered returns the point of the disk covered latest (preferring any
 // never-covered cell) along with its cover time; covered == false when some
-// cell of the disk was never covered at all.
+// cell of the disk was never covered at all. The disk is measured under the
+// tracker's metric: for a NewTrackerIn tracker, d is the metric ball
+// B_m(d.Center, d.R).
 func (t *Tracker) LastCovered(d geom.Disk) (pos geom.Point, when float64, covered bool) {
 	bestT := math.Inf(-1)
 	var bestP geom.Point
@@ -90,7 +103,7 @@ func (t *Tracker) LastCovered(d geom.Disk) (pos geom.Point, when float64, covere
 			// Keep candidate cells strictly inside the disk so adversarial
 			// placements never leak outside D_c (which would break the
 			// instance's ℓ-connectivity guarantee).
-			if c.Dist(d.Center) > d.R-t.cell {
+			if t.m.Dist(c, d.Center) > d.R-t.cell {
 				continue
 			}
 			ft := t.firstCover[iy*t.nx+ix]
@@ -109,7 +122,8 @@ func (t *Tracker) LastCovered(d geom.Disk) (pos geom.Point, when float64, covere
 	return bestP, bestT, true
 }
 
-// CoveredFraction returns the fraction of disk cells covered.
+// CoveredFraction returns the fraction of disk cells covered, with the disk
+// measured under the tracker's metric.
 func (t *Tracker) CoveredFraction(d geom.Disk) float64 {
 	total, cov := 0, 0
 	minX := int(math.Floor((d.Center.X - d.R - t.region.Min.X) / t.cell))
@@ -118,7 +132,7 @@ func (t *Tracker) CoveredFraction(d geom.Disk) float64 {
 	maxY := int(math.Ceil((d.Center.Y + d.R - t.region.Min.Y) / t.cell))
 	for ix := max(0, minX); ix <= maxX && ix < t.nx; ix++ {
 		for iy := max(0, minY); iy <= maxY && iy < t.ny; iy++ {
-			if !d.Contains(t.cellCenter(ix, iy)) {
+			if t.m.Dist(t.cellCenter(ix, iy), d.Center) > d.R+geom.Eps {
 				continue
 			}
 			total++

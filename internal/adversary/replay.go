@@ -2,7 +2,6 @@ package adversary
 
 import (
 	"fmt"
-	"math"
 
 	"freezetag/internal/dftp"
 	"freezetag/internal/explore"
@@ -92,7 +91,7 @@ type Theorem3Result struct {
 	Budget    float64
 	Found     bool
 	Energy    float64 // energy actually spent by the source
-	Threshold float64 // the paper's π(ℓ²−1)/2 bound
+	Threshold float64 // the paper's π(ℓ²−1)/2 bound, A·(ℓ²−1)/2 per metric
 }
 
 // Theorem3 probes the energy lower bound: a single hidden robot in B(0, ℓ)
@@ -101,16 +100,33 @@ type Theorem3Result struct {
 // discovery), a single replay realizes the exact adversary. Per Theorem 3,
 // budgets below π(ℓ²−1)/2 cannot find the robot.
 func Theorem3(ell, budget float64) Theorem3Result {
-	region := geom.RectWH(geom.Pt(-ell-1, -ell-1), 2*ell+2, 2*ell+2)
+	return Theorem3In(nil, ell, budget)
+}
+
+// Theorem3In is Theorem 3 under metric m (nil defaults to ℓ2): the hidden
+// robot lives in the metric ball B_m(0, ℓ), the spiral's winding pitch,
+// travel costs, and looks all follow m, and the area argument generalizes
+// with the metric's unit-ball area A — sweeping B_m(0, ℓ) minus the freebie
+// radius-1 look costs A(ℓ²−1)/2, so that is the reported Threshold (2 for
+// ℓ1, π for ℓ2, 4 for ℓ∞).
+func Theorem3In(m geom.Metric, ell, budget float64) Theorem3Result {
+	m = geom.MetricOrL2(m)
 	disk := geom.DiskAt(geom.Origin, ell)
+	threshold := geom.UnitBallArea(m) * (ell*ell - 1) / 2
+	// The spiral is calibrated in Euclidean radii, but the hidden robot lives
+	// in the metric ball: sweep out to its ℓ2 circumradius (ℓ√2 for ℓ∞, whose
+	// corners an ℓ2-radius-ℓ spiral would never visit; exactly ℓ for ℓ1/ℓ2).
+	sweepR := ell * geom.CircumradiusL2(m)
+	region := geom.RectWH(geom.Pt(-sweepR-1, -sweepR-1), 2*sweepR+2, 2*sweepR+2)
 
 	// Pass 1: record what a budget-B spiral covers, with the target far away
 	// so the trajectory is the full budget-limited spiral.
-	tracker := NewTracker(region, ell/32)
+	tracker := NewTrackerIn(m, region, ell/32)
 	e1 := sim.NewEngine(sim.Config{
 		Source:   geom.Origin,
 		Sleepers: []geom.Point{geom.Pt(4*ell, 4*ell)},
 		Budget:   budget,
+		Metric:   m,
 		Trace: func(ev sim.Event) {
 			if ev.Kind == "look" {
 				tracker.Mark(ev.Pos, ev.T)
@@ -118,13 +134,13 @@ func Theorem3(ell, budget float64) Theorem3Result {
 		},
 	})
 	e1.Spawn(sim.SourceID, func(p *sim.Proc) {
-		_, _, _ = explore.Spiral(p, ell)
+		_, _, _ = explore.Spiral(p, sweepR)
 	})
 	if _, err := e1.Run(); err != nil {
-		return Theorem3Result{Budget: budget, Threshold: math.Pi * (ell*ell - 1) / 2}
+		return Theorem3Result{Budget: budget, Threshold: threshold}
 	}
 
-	// Adversarial placement: last-covered (or uncovered) cell of B(0, ℓ).
+	// Adversarial placement: last-covered (or uncovered) cell of B_m(0, ℓ).
 	target, _, _ := tracker.LastCovered(disk)
 
 	// Pass 2: the actual hunt.
@@ -132,17 +148,18 @@ func Theorem3(ell, budget float64) Theorem3Result {
 		Source:   geom.Origin,
 		Sleepers: []geom.Point{target},
 		Budget:   budget,
+		Metric:   m,
 	})
 	var found bool
 	e2.Spawn(sim.SourceID, func(p *sim.Proc) {
-		_, ok, _ := explore.Spiral(p, ell)
+		_, ok, _ := explore.Spiral(p, sweepR)
 		found = ok
 	})
 	res, err := e2.Run()
 	out := Theorem3Result{
 		Budget:    budget,
 		Found:     found,
-		Threshold: math.Pi * (ell*ell - 1) / 2,
+		Threshold: threshold,
 	}
 	if err == nil {
 		out.Energy = res.MaxEnergy

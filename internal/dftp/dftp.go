@@ -26,6 +26,7 @@ import (
 	"freezetag/internal/geom"
 	"freezetag/internal/instance"
 	"freezetag/internal/sim"
+	"freezetag/internal/wakeup"
 )
 
 // Tuple is the (ℓ, ρ, n) input handed to the source robot (Definition 1).
@@ -130,12 +131,51 @@ func SolveCtx(ctx context.Context, alg Algorithm, inst *instance.Instance, tup T
 // SolveIn is the root of the Solve family: it runs alg on inst with all
 // distances — travel times, energy, the radius-1 Look — measured under
 // metric m (nil defaults to ℓ2, making every other Solve* a thin wrapper).
-// The tuple should be measured in the same metric (see TupleForIn).
+// The tuple should be measured in the same metric (see TupleForIn). A
+// heterogeneous instance hands its per-robot profiles to the engine, so
+// travel times divide by speed and private capacities cap energy; budget
+// stays the uniform fallback for robots without a capacity of their own.
 func SolveIn(ctx context.Context, m geom.Metric, alg Algorithm, inst *instance.Instance, tup Tuple, budget float64, traceFn func(sim.Event)) (sim.Result, *Report, error) {
-	e := sim.NewEngine(sim.Config{Source: inst.Source, Sleepers: inst.Points, Budget: budget, Metric: m, Trace: traceFn})
+	e := sim.NewEngine(sim.Config{
+		Source:   inst.Source,
+		Sleepers: inst.Points,
+		Budget:   budget,
+		Profiles: simProfiles(inst),
+		Metric:   m,
+		Trace:    traceFn,
+	})
 	rep := alg.Install(e, tup)
 	res, err := e.RunCtx(ctx)
 	return res, rep, err
+}
+
+// simProfiles converts an instance's profiles to the simulator's mirror
+// type (nil for homogeneous instances).
+func simProfiles(inst *instance.Instance) []sim.Profile {
+	if len(inst.Profiles) == 0 {
+		return nil
+	}
+	ps := make([]sim.Profile, len(inst.Profiles))
+	for i, p := range inst.Profiles {
+		ps[i] = sim.Profile{Speed: p.Speed, Capacity: p.Capacity}
+	}
+	return ps
+}
+
+// wakeTarget builds the wakeup.Target of robot id at pos, attaching the
+// robot's capability profile when the engine is heterogeneous. Profile-free
+// engines keep the zero-valued targets that reproduce the pre-profile wake
+// trees exactly (see wakeup.BuildTreeIn).
+func wakeTarget(e *sim.Engine, id int, pos geom.Point) wakeup.Target {
+	t := wakeup.Target{ID: id, Pos: pos}
+	if e.Heterogeneous() {
+		r := e.Robot(id)
+		t.Speed = r.Speed()
+		if b := r.Budget(); !math.IsInf(b, 1) {
+			t.Capacity = b - r.Energy()
+		}
+	}
+	return t
 }
 
 // asleepNow filters a discovery map down to robots still asleep, which under

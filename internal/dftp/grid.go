@@ -35,10 +35,13 @@ func (AGrid) Install(e *sim.Engine, tup Tuple) *Report {
 		r:   2 * tup.Ell,
 		reg: make(map[gridKey][]int),
 	}
-	// The slot-work constants are calibrated upper bounds on ℓ2 travel;
-	// inflating them by the metric's stretch keeps them valid bounds under
-	// any ℓp (1× for p ≥ 2, √2× for ℓ1 — see geom.Metric.Stretch).
-	st := e.Metric().Stretch()
+	// The slot-work constants are calibrated upper bounds on ℓ2 travel at
+	// unit speed; inflating them by the metric's stretch keeps them valid
+	// bounds under any ℓp (1× for p ≥ 2, √2× for ℓ1 — see
+	// geom.Metric.Stretch), and dividing by the swarm's slowest speed keeps
+	// them valid travel-time bounds under heterogeneous profiles (÷1 — the
+	// exact IEEE identity — in the homogeneous model).
+	st := e.Metric().Stretch() / e.MinSpeed()
 	g.t = gridSlotWork(g.r) * st
 	g.slotW = g.t + 3*g.r*st
 	e.Spawn(sim.SourceID, func(p *sim.Proc) {
@@ -158,7 +161,7 @@ func (g *gridRun) exploreWake(p *sim.Proc, s geom.Square, cont func(*sim.Proc)) 
 		if g.eng.Robot(id).State() != sim.Asleep {
 			continue
 		}
-		targets = append(targets, wakeup.Target{ID: id, Pos: pos})
+		targets = append(targets, wakeTarget(g.eng, id, pos))
 	}
 	tree := wakeup.BuildTreeIn(g.eng.Metric(), p.Self().Pos(), targets)
 	if err := wakeup.Propagate(p, tree, cont); err != nil {

@@ -328,7 +328,7 @@ func (c *sepCtx) terminalWake(p *sim.Proc, members []int, S geom.Square,
 	for _, id := range sortedIDs(asleepNow(c.eng, known)) {
 		pos := known[id]
 		if admit(pos) {
-			targets = append(targets, wakeup.Target{ID: id, Pos: pos})
+			targets = append(targets, wakeTarget(c.eng, id, pos))
 		}
 	}
 	tree := wakeup.BuildTreeIn(c.eng.Metric(), p.Self().Pos(), targets)
@@ -359,7 +359,7 @@ func (c *sepCtx) baseExploreWake(p *sim.Proc, members []int, S geom.Square,
 	for _, id := range sortedIDs(asleepNow(c.eng, merged)) {
 		pos := merged[id]
 		if admit(pos) {
-			targets = append(targets, wakeup.Target{ID: id, Pos: pos})
+			targets = append(targets, wakeTarget(c.eng, id, pos))
 		}
 	}
 	tree := wakeup.BuildTreeIn(c.eng.Metric(), p.Self().Pos(), targets)

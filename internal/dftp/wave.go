@@ -64,9 +64,11 @@ func (AWave) Install(e *sim.Engine, tup Tuple) *Report {
 		reg: make(map[gridKey][]int),
 	}
 	w.r = waveWidth(tup.Ell)
-	// Slot-work bounds are ℓ2-calibrated; the metric stretch keeps them
-	// valid travel bounds under any ℓp (see AGrid.Install).
-	st := e.Metric().Stretch()
+	// Slot-work bounds are ℓ2-calibrated at unit speed; the metric stretch
+	// keeps them valid travel bounds under any ℓp, and dividing by the
+	// slowest speed keeps them valid travel-time bounds under heterogeneous
+	// profiles (see AGrid.Install).
+	st := e.Metric().Stretch() / e.MinSpeed()
 	w.t = waveSlotWork(w.r, tup.Ell) * st
 	w.slotW = w.t + 3*w.r*st
 	e.Spawn(sim.SourceID, func(p *sim.Proc) {

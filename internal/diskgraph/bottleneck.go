@@ -2,6 +2,8 @@ package diskgraph
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"freezetag/internal/geom"
 )
@@ -136,126 +138,108 @@ func (ci *cellIndex) scanRing(m geom.Metric, pts []geom.Point, root []int32, rv 
 // component already holds, so the per-component minimum — and therefore
 // the bottleneck — is unaffected. Rounds at least halve the component
 // count, giving near-linear total work for well-conditioned sets.
+//
+// The per-component searches are mutually independent — every slot a
+// search writes (rs.best*, cand*, noneWithin by vertex; min* by root) is
+// owned by exactly one component this round, and root/head/next/uf are
+// read-only during phase B — so they fan out over a worker pool in the
+// experiments-runner style. The merge step stays sequential, and the
+// result is bit-identical at any worker count: each component's search
+// runs the exact serial scan order internally, and components never read
+// each other's state.
 func bottleneckGridIn(m geom.Metric, pts []geom.Point, minX, minY, cell float64) float64 {
 	n := len(pts)
-	ci := newCellIndex(pts, minX, minY, cell)
 	uf := newUnionFind(n)
 	comps := n
 
-	candTo := make([]int32, n) // cached nearest foreign vertex, -1 = unknown
-	candD := make([]float64, n)
-	// noneWithin[v] is negative information: no foreign vertex lies at
-	// distance < noneWithin[v]. The foreign set only ever shrinks, so the
-	// floor stays valid across rounds and only ratchets upward.
-	noneWithin := make([]float64, n)
-	minD := make([]float64, n) // per-root cheapest outgoing edge this round
-	minFrom := make([]int32, n)
-	minTo := make([]int32, n)
-	head := make([]int32, n) // per-root phase-B pending list, linked via next
-	next := make([]int32, n)
-	root := make([]int32, n) // per-vertex root snapshot of the current round
+	st := &boruvkaState{
+		m:          m,
+		pts:        pts,
+		ci:         newCellIndex(pts, minX, minY, cell),
+		candTo:     make([]int32, n),
+		candD:      make([]float64, n),
+		noneWithin: make([]float64, n),
+		minD:       make([]float64, n),
+		minFrom:    make([]int32, n),
+		minTo:      make([]int32, n),
+		head:       make([]int32, n),
+		next:       make([]int32, n),
+		root:       make([]int32, n),
+		rs:         ringSearch{bestD: make([]float64, n), bestTo: make([]int32, n)},
+	}
 	pendingRoots := make([]int32, 0, 16)
 	active := make([]int32, 0, 64)
-	rs := &ringSearch{bestD: make([]float64, n), bestTo: make([]int32, n)}
-	for i := range candTo {
-		candTo[i] = -1
+	for i := range st.candTo {
+		st.candTo[i] = -1
 	}
 
 	var bottleneck float64
 	for comps > 1 {
-		for i := range minD {
-			minD[i] = math.Inf(1)
-			head[i] = -1
+		for i := range st.minD {
+			st.minD[i] = math.Inf(1)
+			st.head[i] = -1
 		}
 		for v := 0; v < n; v++ {
-			root[v] = int32(uf.find(v))
+			st.root[v] = int32(uf.find(v))
 		}
 		// Phase A.
 		pendingRoots = pendingRoots[:0]
+		pendingVerts := 0
 		for v := 0; v < n; v++ {
-			rv := root[v]
-			if to := candTo[v]; to >= 0 {
-				if root[to] != rv {
-					if candD[v] < minD[rv] {
-						minD[rv], minFrom[rv], minTo[rv] = candD[v], int32(v), to
+			rv := st.root[v]
+			if to := st.candTo[v]; to >= 0 {
+				if st.root[to] != rv {
+					if st.candD[v] < st.minD[rv] {
+						st.minD[rv], st.minFrom[rv], st.minTo[rv] = st.candD[v], int32(v), to
 					}
 					continue
 				}
 				// The cached nearest foreign vertex was absorbed: its
 				// distance becomes v's foreign-distance floor.
-				candTo[v] = -1
-				noneWithin[v] = math.Max(noneWithin[v], candD[v])
+				st.candTo[v] = -1
+				st.noneWithin[v] = math.Max(st.noneWithin[v], st.candD[v])
 			}
-			if head[rv] < 0 {
+			if st.head[rv] < 0 {
 				pendingRoots = append(pendingRoots, rv)
 			}
-			next[v] = head[rv]
-			head[rv] = int32(v)
+			st.next[v] = st.head[rv]
+			st.head[rv] = int32(v)
+			pendingVerts++
 		}
 		// Phase B.
-		for _, rv := range pendingRoots {
-			r := int(rv)
-			active = active[:0]
-			for v := head[r]; v >= 0; v = next[v] {
-				if noneWithin[v] >= minD[r] && !math.IsInf(minD[r], 1) {
-					// v's foreign-distance floor already matches the
-					// component's phase-A bound, and the in-round bound only
-					// shrinks: v cannot contribute a better edge. This is
-					// what keeps settled interior vertices O(1) per round.
-					continue
-				}
-				active = append(active, v)
-				rs.bestD[v] = math.Inf(1)
-				rs.bestTo[v] = -1
+		if workers := phaseBWorkers(len(pendingRoots), pendingVerts); workers > 1 {
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func() {
+					defer wg.Done()
+					scratch := make([]int32, 0, 64)
+					for i := range idx {
+						scratch = st.searchComponent(pendingRoots[i], scratch)
+					}
+				}()
 			}
-			bound := minD[r]
-			for ring := 0; len(active) > 0; ring++ {
-				if ring > 0 && bound <= float64(ring-1)*ci.cell*ringSafety {
-					// Unscanned rings hold only vertices farther than the
-					// component's best edge; drop the stragglers without
-					// exact caches, remembering the certified foreign-free
-					// radius around each.
-					for _, v := range active {
-						candTo[v] = -1
-						noneWithin[v] = math.Max(noneWithin[v], float64(ring-1)*ci.cell*ringSafety)
-					}
-					break
-				}
-				// After scanning ring k, everything unscanned is farther
-				// than k·cell (up to ulps — hence ringSafety).
-				certified := float64(ring) * ci.cell * ringSafety
-				keep := active[:0]
-				for _, v := range active {
-					done := ci.scanRing(m, pts, root, rv, int(v), ring, rs)
-					if d := rs.bestD[v]; d < bound {
-						bound = d
-					}
-					if done || rs.bestD[v] <= certified {
-						if to := rs.bestTo[v]; to >= 0 {
-							candTo[v], candD[v] = to, rs.bestD[v]
-							if rs.bestD[v] < minD[r] {
-								minD[r], minFrom[r], minTo[r] = rs.bestD[v], v, to
-							}
-						} else {
-							candTo[v] = -1
-						}
-						continue
-					}
-					keep = append(keep, v)
-				}
-				active = keep
+			for i := range pendingRoots {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+		} else {
+			for _, rv := range pendingRoots {
+				active = st.searchComponent(rv, active)
 			}
 		}
 		// Merge every component along its recorded cheapest outgoing edge.
 		merged := false
 		for r := 0; r < n; r++ {
-			if math.IsInf(minD[r], 1) {
+			if math.IsInf(st.minD[r], 1) {
 				continue // not a round-start root, or found no edge
 			}
-			if uf.union(int(minFrom[r]), int(minTo[r])) {
+			if uf.union(int(st.minFrom[r]), int(st.minTo[r])) {
 				comps--
-				if minD[r] > bottleneck {
-					bottleneck = minD[r]
+				if st.minD[r] > bottleneck {
+					bottleneck = st.minD[r]
 				}
 				merged = true
 			}
@@ -265,6 +249,114 @@ func bottleneckGridIn(m geom.Metric, pts []geom.Point, minX, minY, cell float64)
 		}
 	}
 	return bottleneck
+}
+
+// boruvkaState is the shared round state of bottleneckGridIn, grouped so
+// the per-component phase-B searches can run as methods from pool workers.
+// Slices indexed by vertex (candTo, candD, noneWithin, rs.best*) or by root
+// (minD, minFrom, minTo) are written only for vertices/roots of the
+// component being searched, which is what makes concurrent searches safe.
+type boruvkaState struct {
+	m   geom.Metric
+	pts []geom.Point
+	ci  *cellIndex
+
+	candTo     []int32 // cached nearest foreign vertex, -1 = unknown
+	candD      []float64
+	noneWithin []float64 // no foreign vertex lies closer than this floor
+	minD       []float64 // per-root cheapest outgoing edge this round
+	minFrom    []int32
+	minTo      []int32
+	head       []int32 // per-root phase-B pending list, linked via next
+	next       []int32
+	root       []int32 // per-vertex root snapshot of the current round
+	rs         ringSearch
+}
+
+// phaseBWorkersOverride, when positive, pins the phase-B pool size; tests
+// use it to exercise the parallel path on single-core runners and to check
+// bit-identity across worker counts.
+var phaseBWorkersOverride = 0
+
+// parallelPhaseBMinVerts is the pending-vertex count below which a round's
+// phase B stays serial: tiny rounds (the common tail, where almost every
+// candidate survived phase A) would pay more in goroutine handoff than the
+// searches cost. Purely a performance dispatch — serial and parallel
+// searches write identical values.
+const parallelPhaseBMinVerts = 256
+
+// phaseBWorkers sizes the phase-B pool for a round with the given pending
+// component and vertex counts.
+func phaseBWorkers(roots, verts int) int {
+	w := runtime.GOMAXPROCS(0)
+	if phaseBWorkersOverride > 0 {
+		w = phaseBWorkersOverride
+	} else if verts < parallelPhaseBMinVerts {
+		return 1
+	}
+	if w > roots {
+		w = roots
+	}
+	return w
+}
+
+// searchComponent runs one component's ring-synchronized phase-B search:
+// every pending member expands one cell ring at a time, sharing the
+// component's best outgoing weight as the prune bound. active is the
+// caller's scratch buffer, returned for reuse.
+func (st *boruvkaState) searchComponent(rv int32, active []int32) []int32 {
+	r := int(rv)
+	active = active[:0]
+	for v := st.head[r]; v >= 0; v = st.next[v] {
+		if st.noneWithin[v] >= st.minD[r] && !math.IsInf(st.minD[r], 1) {
+			// v's foreign-distance floor already matches the component's
+			// phase-A bound, and the in-round bound only shrinks: v cannot
+			// contribute a better edge. This is what keeps settled interior
+			// vertices O(1) per round.
+			continue
+		}
+		active = append(active, v)
+		st.rs.bestD[v] = math.Inf(1)
+		st.rs.bestTo[v] = -1
+	}
+	bound := st.minD[r]
+	for ring := 0; len(active) > 0; ring++ {
+		if ring > 0 && bound <= float64(ring-1)*st.ci.cell*ringSafety {
+			// Unscanned rings hold only vertices farther than the
+			// component's best edge; drop the stragglers without exact
+			// caches, remembering the certified foreign-free radius around
+			// each.
+			for _, v := range active {
+				st.candTo[v] = -1
+				st.noneWithin[v] = math.Max(st.noneWithin[v], float64(ring-1)*st.ci.cell*ringSafety)
+			}
+			break
+		}
+		// After scanning ring k, everything unscanned is farther than
+		// k·cell (up to ulps — hence ringSafety).
+		certified := float64(ring) * st.ci.cell * ringSafety
+		keep := active[:0]
+		for _, v := range active {
+			done := st.ci.scanRing(st.m, st.pts, st.root, rv, int(v), ring, &st.rs)
+			if d := st.rs.bestD[v]; d < bound {
+				bound = d
+			}
+			if done || st.rs.bestD[v] <= certified {
+				if to := st.rs.bestTo[v]; to >= 0 {
+					st.candTo[v], st.candD[v] = to, st.rs.bestD[v]
+					if st.rs.bestD[v] < st.minD[r] {
+						st.minD[r], st.minFrom[r], st.minTo[r] = st.rs.bestD[v], v, to
+					}
+				} else {
+					st.candTo[v] = -1
+				}
+				continue
+			}
+			keep = append(keep, v)
+		}
+		active = keep
+	}
+	return active
 }
 
 // unionFind is a plain disjoint-set forest with path halving and union by

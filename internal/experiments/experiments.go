@@ -14,12 +14,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"freezetag/internal/adversary"
 	"freezetag/internal/dftp"
 	"freezetag/internal/diskgraph"
+	"freezetag/internal/geom"
 	"freezetag/internal/instance"
 	"freezetag/internal/metrics"
 	"freezetag/internal/report"
@@ -45,8 +47,14 @@ func lg2(x float64) float64 {
 
 // solveOn runs alg on the instance and returns (makespan, maxEnergy).
 func solveOn(alg dftp.Algorithm, in *instance.Instance, budget float64) (float64, float64, error) {
-	tup := dftp.TupleFor(in)
-	res, rep, err := dftp.Solve(alg, in, tup, budget)
+	return solveOnIn(nil, alg, in, budget)
+}
+
+// solveOnIn is solveOn under metric m (nil defaults to ℓ2): the tuple is
+// derived and the simulation run in m.
+func solveOnIn(m geom.Metric, alg dftp.Algorithm, in *instance.Instance, budget float64) (float64, float64, error) {
+	tup := dftp.TupleForIn(m, in)
+	res, rep, err := dftp.SolveIn(context.Background(), m, alg, in, tup, budget, nil)
 	if err != nil {
 		return 0, 0, fmt.Errorf("%s on %s: %w", alg.Name(), in.Name, err)
 	}
@@ -122,20 +130,36 @@ func (r *Runner) E1EllSweep(scale Scale) (*report.Table, error) {
 }
 
 // E2EnergyThreshold is Table 1 row 2 (Theorem 3): feasibility of the
-// single-robot adversarial discovery around the budget threshold
-// π(ℓ²−1)/2.
+// single-robot adversarial discovery around the budget threshold — the
+// paper's π(ℓ²−1)/2 under ℓ2, generalized per metric to A·(ℓ²−1)/2 with A
+// the metric's unit-ball area (2 for ℓ1, 4 for ℓ∞). The metric is a sweep
+// axis: the ℓ1 ball is smaller and its spiral pitch finer, the ℓ∞ ball
+// larger and its sweep coarser, so the absolute budget at which discovery
+// flips differs per norm while the threshold-relative flip stays put.
 func (r *Runner) E2EnergyThreshold(scale Scale) (*report.Table, error) {
 	ell := 6.0
 	mults := []float64{0.25, 0.5, 1, 4, 12}
 	if scale == Full {
 		mults = []float64{0.1, 0.25, 0.5, 0.75, 1, 2, 4, 8, 12, 16}
 	}
-	t := report.NewTable("E2 — Theorem 3 energy threshold (ℓ=6, adversarial single robot)",
-		"budget/threshold", "budget", "found", "energy spent")
-	threshold := math.Pi * (ell*ell - 1) / 2
-	err := Sweep(r, t, mults, func(_ *Trial, m float64) (Row, error) {
-		res := adversary.Theorem3(ell, m*threshold)
-		return Row{m, res.Budget, fmt.Sprintf("%v", res.Found), res.Energy}, nil
+	type cfg struct {
+		metric geom.Metric
+		mult   float64
+	}
+	var cfgs []cfg
+	for _, m := range []geom.Metric{geom.L1, geom.L2, geom.LInf} {
+		for _, mu := range mults {
+			cfgs = append(cfgs, cfg{metric: m, mult: mu})
+		}
+	}
+	t := report.NewTable("E2 — Theorem 3 energy threshold A·(ℓ²−1)/2 (ℓ=6, adversarial single robot, per metric)",
+		"metric", "ball area", "threshold", "budget/threshold", "budget", "found", "energy spent")
+	err := Sweep(r, t, cfgs, func(_ *Trial, c cfg) (Row, error) {
+		area := geom.UnitBallArea(c.metric)
+		threshold := area * (ell*ell - 1) / 2
+		res := adversary.Theorem3In(c.metric, ell, c.mult*threshold)
+		return Row{c.metric.Name(), area, res.Threshold, c.mult, res.Budget,
+			fmt.Sprintf("%v", res.Found), res.Energy}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -274,34 +298,52 @@ func (r *Runner) E6Path(scale Scale) (*report.Table, error) {
 // for larger ℓ (its cell width 8ℓ²log₂ℓ makes direct long-line simulation at
 // ℓ ≥ 8 prohibitively large; the schedule constants are the same ones every
 // measured AWave run above obeys).
+//
+// The metric is a sweep axis: under ℓ1 every slot-work bound inflates by the
+// stretch √2 while a line instance's travel distances do not, so the two
+// rates shift by different amounts and the ℓ at which AWave overtakes AGrid
+// moves between norms — the crossover is metric-dependent, not a fixed
+// constant of the algorithms.
 func (r *Runner) E7Crossover(scale Scale) (*report.Table, error) {
 	ells := []float64{1, 2, 4, 8, 16}
 	if scale == Quick {
 		ells = []float64{1, 2, 8}
 	}
-	t := report.NewTable("E7 — AGrid vs AWave makespan rate per unit ξ (long-line regime)",
-		"ell", "AGrid rate (measured)", "AWave rate", "AWave source", "winner")
-	err := Sweep(r, t, ells, func(_ *Trial, ell float64) (Row, error) {
-		// AGrid: measured on a line long enough for several rounds.
-		n := int(math.Max(24, 32/ell))
-		if scale == Full {
-			n = int(math.Max(32, 64/ell))
+	type cfg struct {
+		metric geom.Metric
+		ell    float64
+	}
+	var cfgs []cfg
+	for _, m := range []geom.Metric{geom.L1, geom.L2, geom.LInf} {
+		for _, ell := range ells {
+			cfgs = append(cfgs, cfg{metric: m, ell: ell})
 		}
-		in := instance.Line(n, ell)
-		mk, _, err := solveOn(dftp.AGrid{}, in, 0)
+	}
+	t := report.NewTable("E7 — AGrid vs AWave makespan rate per unit ξ (long-line regime, per metric)",
+		"metric", "ell", "AGrid rate (measured)", "AWave rate", "AWave source", "winner")
+	err := Sweep(r, t, cfgs, func(_ *Trial, c cfg) (Row, error) {
+		// AGrid: measured on a line long enough for several rounds. Line
+		// distances agree under every ℓp (the points are collinear), so the
+		// per-metric differences are pure schedule-bound effects.
+		n := int(math.Max(24, 32/c.ell))
+		if scale == Full {
+			n = int(math.Max(32, 64/c.ell))
+		}
+		in := instance.Line(n, c.ell)
+		mk, _, err := solveOnIn(c.metric, dftp.AGrid{}, in, 0)
 		if err != nil {
 			return nil, err
 		}
-		gridRate := mk / (float64(n) * ell)
+		gridRate := mk / (float64(n) * c.ell)
 
 		// AWave: rate = 9·slotWidth / cellWidth from the same calibrated
 		// schedule constants the simulator enforces (deadline-miss checked).
-		waveRate, src := awaveRate(ell, scale)
+		waveRate, src := awaveRate(c.metric, c.ell, scale)
 		winner := "AGrid"
 		if waveRate < gridRate {
 			winner = "AWave"
 		}
-		return Row{ell, gridRate, waveRate, src, winner}, nil
+		return Row{c.metric.Name(), c.ell, gridRate, waveRate, src, winner}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -309,26 +351,28 @@ func (r *Runner) E7Crossover(scale Scale) (*report.Table, error) {
 	return t, nil
 }
 
-// awaveRate returns AWave's per-unit-ξ makespan rate: one 9-slot round
-// advances one cell of width R, so the steady-state rate is 9·slotWidth/R.
-// At ℓ = 4 on Full scale the rate is validated by direct measurement across
-// two consecutive wave rounds (lines reaching 1.2R and 2.2R, so the
-// difference spans exactly one steady-state round); other ℓ use the same
-// schedule constants the simulator enforces on every run.
-func awaveRate(ell float64, scale Scale) (float64, string) {
+// awaveRate returns AWave's per-unit-ξ makespan rate under metric m: one
+// 9-slot round advances one cell of width R, so the steady-state rate is
+// 9·slotWidth·Stretch/R (the slot bounds are ℓ2-calibrated and inflate by
+// the metric stretch, exactly as AWave.Install inflates them). At ℓ = 4 on
+// Full scale the rate is validated by direct measurement across two
+// consecutive wave rounds (lines reaching 1.2R and 2.2R, so the difference
+// spans exactly one steady-state round); other ℓ use the same schedule
+// constants the simulator enforces on every run.
+func awaveRate(m geom.Metric, ell float64, scale Scale) (float64, string) {
 	if scale == Full && ell == 4 {
 		r := dftp.AWaveCellWidth(ell)
 		n1 := int(r*1.2/ell) + 1
 		n2 := int(r*2.2/ell) + 1
 		in1 := instance.Line(n1, ell)
 		in2 := instance.Line(n2, ell)
-		mk1, _, err1 := solveOn(dftp.AWave{}, in1, 0)
-		mk2, _, err2 := solveOn(dftp.AWave{}, in2, 0)
+		mk1, _, err1 := solveOnIn(m, dftp.AWave{}, in1, 0)
+		mk2, _, err2 := solveOnIn(m, dftp.AWave{}, in2, 0)
 		if err1 == nil && err2 == nil && mk2 > mk1 {
 			return (mk2 - mk1) / (float64(n2-n1) * ell), "measured"
 		}
 	}
 	r := dftp.AWaveCellWidth(ell)
 	slot := dftp.AWaveSlotWidth(ell)
-	return 9 * slot / r, "schedule"
+	return 9 * slot * geom.MetricOrL2(m).Stretch() / r, "schedule"
 }

@@ -360,6 +360,7 @@ func (r *Runner) All(scale Scale) ([]*report.Table, error) {
 		{"L2", r.L2WakeTree}, {"L5", r.L5DFSampling},
 		{"P1", r.P1Portfolio},
 		{"M1", r.M1Metrics},
+		{"H1", r.H1Heterogeneous},
 	}
 	var out []*report.Table
 	for _, g := range gens {

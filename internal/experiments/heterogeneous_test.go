@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"freezetag/internal/report"
+)
+
+// The H1 sweep must run under the engine, produce one row per
+// (family, spread) pair, and keep every racer's wake-up complete even at
+// the widest speed spread (the slot bounds scale by 1/min-speed, so a
+// schedule that overran would surface as an error, not a slow row).
+func TestH1Heterogeneous(t *testing.T) {
+	tb, err := NewRunner().H1Heterogeneous(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	t.Logf("\n%s", out)
+	for _, want := range []string{"line ℓ=1 (E1)", "line ℓ=4 (E4)", "clusters (A1)", "ASeparator"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("H1 table lacks %q:\n%s", want, out)
+		}
+	}
+	// 3 quick families × 3 spreads.
+	if rows := strings.Count(out, "\n") - 3; rows != 9 {
+		t.Errorf("H1 has %d rows, want 9:\n%s", rows, out)
+	}
+}
+
+// The spread-1 rows are the homogeneous baseline: no speedband modifier, so
+// the instance has no profiles and min speed exactly 1.
+func TestH1BaselineIsHomogeneous(t *testing.T) {
+	tb, err := NewRunner().H1Heterogeneous(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.String()
+	if strings.Contains(s, "speedband") {
+		// The family label column must stay the plain family name; modifier
+		// suffixes belong to instance names, not the table.
+		t.Errorf("H1 table leaks modifier suffixes:\n%s", s)
+	}
+}
+
+// H1 is deterministic at any worker count, like every sweep in the engine.
+func TestH1ParallelMatchesSerial(t *testing.T) {
+	assertTableIdentical(t, "H1Heterogeneous", func(r *Runner) (*report.Table, error) {
+		return r.H1Heterogeneous(Quick)
+	})
+}

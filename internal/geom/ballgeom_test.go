@@ -1,0 +1,108 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// fakeMetric wraps a built-in norm while hiding its concrete type, forcing
+// UnitBallArea and CircumradiusL2 onto their numeric fallback paths.
+type fakeMetric struct{ Metric }
+
+func (f fakeMetric) Name() string { return "fake-" + f.Metric.Name() }
+
+func TestUnitBallAreaClosedForms(t *testing.T) {
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"l1", 2},
+		{"l2", math.Pi},
+		{"linf", 4},
+		{"lp:2", math.Pi},        // normalizes to ℓ2
+		{"lp:1.000001", 2},       // → ℓ1 area as p→1
+		{"lp:4", 3.7081493546},   // 4Γ(5/4)²/Γ(3/2)
+		{"lp:1.5", 2.7378536239}, // 4Γ(5/3)²/Γ(7/3)
+	}
+	for _, c := range cases {
+		m, err := ParseMetric(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := UnitBallArea(m); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("UnitBallArea(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if got := UnitBallArea(nil); got != math.Pi {
+		t.Errorf("UnitBallArea(nil) = %v, want π", got)
+	}
+}
+
+// The numeric fallback must agree with the closed forms for every built-in,
+// since any Metric implementation outside this package lands on it.
+func TestUnitBallAreaNumericFallback(t *testing.T) {
+	for _, name := range []string{"l1", "l2", "linf", "lp:3", "lp:1.5"} {
+		m, err := ParseMetric(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := UnitBallArea(m)
+		got := UnitBallArea(fakeMetric{m})
+		if math.Abs(got-want)/want > 1e-3 {
+			t.Errorf("numeric UnitBallArea(%s) = %v, closed form %v", name, got, want)
+		}
+	}
+}
+
+func TestCircumradiusL2(t *testing.T) {
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"l1", 1},
+		{"l2", 1},
+		{"linf", math.Sqrt2},
+		{"lp:1.5", 1},
+		{"lp:2", 1},
+		{"lp:4", math.Exp2(0.25)}, // 2^(1/2−1/4)
+	}
+	for _, c := range cases {
+		m, err := ParseMetric(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := CircumradiusL2(m); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CircumradiusL2(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if got := CircumradiusL2(nil); got != 1 {
+		t.Errorf("CircumradiusL2(nil) = %v, want 1", got)
+	}
+	// The numeric fallback must never undershoot (coverage arguments depend
+	// on it) and must stay within a fraction of a percent of the truth.
+	for _, name := range []string{"l1", "linf", "lp:6"} {
+		m, _ := ParseMetric(name)
+		want := CircumradiusL2(m)
+		got := CircumradiusL2(fakeMetric{m})
+		if got < want-1e-12 {
+			t.Errorf("numeric CircumradiusL2(%s) = %v undershoots %v", name, got, want)
+		}
+		if got > want*1.01 {
+			t.Errorf("numeric CircumradiusL2(%s) = %v overshoots %v by >1%%", name, got, want)
+		}
+	}
+	// Sanity: the circumradius bounds every sampled boundary point.
+	for _, name := range []string{"l1", "linf", "lp:3"} {
+		m, _ := ParseMetric(name)
+		r := CircumradiusL2(m)
+		for i := 0; i < 360; i++ {
+			theta := float64(i) * math.Pi / 180
+			v := Pt(math.Cos(theta), math.Sin(theta))
+			bd := v.Scale(1 / m.Norm(v)) // on the metric unit sphere
+			if bd.Norm() > r+1e-12 {
+				t.Fatalf("%s: boundary point %v at ℓ2 radius %v exceeds circumradius %v",
+					name, bd, bd.Norm(), r)
+			}
+		}
+	}
+}

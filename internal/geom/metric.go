@@ -90,6 +90,68 @@ func (linfMetric) Norm(v Point) float64     { return math.Max(math.Abs(v.X), mat
 func (linfMetric) InscribedSquare() float64 { return 2 }
 func (linfMetric) Stretch() float64         { return 1 }
 
+// UnitBallArea returns the area of m's unit ball — 2 for ℓ1, π for ℓ2, 4
+// for ℓ∞, and 4·Γ(1+1/p)²/Γ(1+2/p) for general ℓp (nil defaults to ℓ2).
+// It is the constant in the metric generalization of the Theorem 3 energy
+// threshold: sweeping the radius-ℓ ball minus the freebie radius-1 look
+// costs area/2, so the ℓ2 bound π(ℓ²−1)/2 becomes A·(ℓ²−1)/2. Unknown
+// Metric implementations are integrated numerically in polar form
+// (½∮ r(θ)² dθ with r(θ) = 1/Norm(cos θ, sin θ)), which is exact to
+// quadrature error for any norm ball.
+func UnitBallArea(m Metric) float64 {
+	switch mm := MetricOrL2(m).(type) {
+	case l1Metric:
+		return 2
+	case l2Metric:
+		return math.Pi
+	case linfMetric:
+		return 4
+	case lpMetric:
+		g := math.Gamma(1 + mm.invP)
+		return 4 * g * g / math.Gamma(1+2*mm.invP)
+	}
+	const steps = 1 << 16
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		theta := (float64(i) + 0.5) * (2 * math.Pi / steps)
+		r := 1 / m.Norm(Pt(math.Cos(theta), math.Sin(theta)))
+		sum += r * r
+	}
+	return sum * math.Pi / steps
+}
+
+// CircumradiusL2 returns the ℓ2 circumradius of m's unit ball,
+// sup{‖v‖₂ : m.Norm(v) ≤ 1} — 1 for every ℓp with p ≤ 2 (their balls fit
+// the Euclidean disk), 2^(1/2−1/p) for p > 2, √2 for ℓ∞ (the corners).
+// A sweep calibrated to Euclidean radius r covers the metric ball
+// B_m(c, r) only when extended to radius r·CircumradiusL2 (nil defaults
+// to ℓ2). Unknown Metric implementations are maximized numerically over
+// sampled directions with a one-step safety factor.
+func CircumradiusL2(m Metric) float64 {
+	switch mm := MetricOrL2(m).(type) {
+	case l1Metric, l2Metric:
+		return 1
+	case linfMetric:
+		return math.Sqrt2
+	case lpMetric:
+		if mm.p <= 2 {
+			return 1
+		}
+		return math.Exp2(0.5 - mm.invP)
+	}
+	const steps = 1 << 12
+	best := 0.0
+	for i := 0; i < steps; i++ {
+		theta := (float64(i) + 0.5) * (2 * math.Pi / steps)
+		if r := 1 / m.Norm(Pt(math.Cos(theta), math.Sin(theta))); r > best {
+			best = r
+		}
+	}
+	// Sampling can only undershoot the true maximum; pad by one step's
+	// worth of curvature so callers' coverage arguments stay conservative.
+	return best * (1 + math.Pi/steps)
+}
+
 // lpMetric is the general ℓp metric for finite p ≥ 1. The canonical cases
 // p = 1, 2 and p = +Inf are always represented by L1/L2/LInf (Lp normalizes
 // them), so an lpMetric value is never one of those.

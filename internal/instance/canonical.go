@@ -30,9 +30,15 @@ import (
 // code; this is locked by the fixtures in testdata/hash_golden_pr3.json.
 // Any other metric encodes under v2 with an explicit metric line, which can
 // never collide with a v1 hash because the version line differs.
+//
+// The v2→v3 bump follows the same rule for per-robot profiles: homogeneous
+// requests (no Profiles) keep their v1/v2 encoding byte-for-byte — locked by
+// testdata/hash_golden_pr5.json — while heterogeneous ones encode under v3
+// with an always-explicit metric line plus one profile line per robot.
 const (
 	canonVersion   = "dftp-request/v1"
 	canonVersionV2 = "dftp-request/v2"
+	canonVersionV3 = "dftp-request/v3"
 )
 
 // canonFloat formats f for the canonical encoding: exact (hex mantissa, no
@@ -49,14 +55,28 @@ func canonFloat(f float64) string {
 }
 
 // appendCanonical writes the instance's canonical encoding: name, source,
-// then the points in stored order. Point order is intentionally significant
-// — robot ids are positional, so reordering points is a different instance.
+// then the points in stored order, then (heterogeneous instances only) the
+// profiles in the same order. Point order is intentionally significant —
+// robot ids are positional, so reordering points is a different instance —
+// and so is profile order, since Profiles[i] belongs to Points[i].
+// Capacities ≤ 0 all mean "inherit the uniform budget" and encode as 0,
+// mirroring the budget normalization.
 func (in *Instance) appendCanonical(w io.Writer) {
 	fmt.Fprintf(w, "name=%q\n", in.Name)
 	fmt.Fprintf(w, "source=%s,%s\n", canonFloat(in.Source.X), canonFloat(in.Source.Y))
 	fmt.Fprintf(w, "points=%d\n", len(in.Points))
 	for _, p := range in.Points {
 		fmt.Fprintf(w, "p=%s,%s\n", canonFloat(p.X), canonFloat(p.Y))
+	}
+	if len(in.Profiles) > 0 {
+		fmt.Fprintf(w, "profiles=%d\n", len(in.Profiles))
+		for _, pr := range in.Profiles {
+			cap := pr.Capacity
+			if cap <= 0 {
+				cap = 0
+			}
+			fmt.Fprintf(w, "f=%s,%s\n", canonFloat(pr.Speed), canonFloat(cap))
+		}
 	}
 }
 
@@ -73,12 +93,20 @@ func HashRequest(algorithm string, in *Instance, ell, rho float64, n int, budget
 // metric — canonical name "l2", or a nil/omitted metric — produces the
 // pre-metric v1 encoding byte-for-byte, so existing cache keys survive; any
 // other metric encodes under v2 with its canonical name as an extra field.
+// Heterogeneous instances (non-empty Profiles) always encode under v3 with
+// an explicit metric line (ℓ2 included) and the profile lines appended by
+// appendCanonical; they can never alias a homogeneous hash because the
+// version line differs.
 func HashRequestIn(m geom.Metric, algorithm string, in *Instance, ell, rho float64, n int, budget float64) string {
 	if budget <= 0 {
 		budget = 0
 	}
 	h := sha256.New()
-	if geom.IsL2(m) {
+	if len(in.Profiles) > 0 {
+		fmt.Fprintf(h, "%s\n", canonVersionV3)
+		fmt.Fprintf(h, "alg=%s\n", algorithm)
+		fmt.Fprintf(h, "metric=%s\n", geom.MetricOrL2(m).Name())
+	} else if geom.IsL2(m) {
 		fmt.Fprintf(h, "%s\n", canonVersion)
 		fmt.Fprintf(h, "alg=%s\n", algorithm)
 	} else {
@@ -95,6 +123,11 @@ func HashRequestIn(m geom.Metric, algorithm string, in *Instance, ell, rho float
 // FamilyNames lists the workload families Family accepts.
 func FamilyNames() []string { return []string{"line", "walk", "disk", "grid", "chain"} }
 
+// profileSeedSalt decorrelates the profile stream from the point stream, so
+// "walk+speedband:2" generates the exact point set of "walk" at the same
+// (n, param, seed) and only adds profiles on top.
+const profileSeedSalt = 0x50524F46 // "PROF"
+
 // Family generates an instance from a named workload family, the single
 // source of truth for "family/n/param/seed" requests (cmd/dftp-run and the
 // solver service share it, so equal parameters give equal instances and
@@ -105,7 +138,21 @@ func FamilyNames() []string { return []string{"line", "walk", "disk", "grid", "c
 //	disk   uniform in a disk of radius 10·param
 //	grid   smallest k×k grid with k² ≥ n, spacing param
 //	chain  ⌈n/8⌉+1 clusters of 8, separation 5·param, radius param
+//
+// A base family may carry "+"-separated heterogeneity modifiers, e.g.
+// "walk+speedband:2" or "grid+speedband:4+capband:30":
+//
+//	speedband:<s>  per-robot speeds uniform in [min(1,s), max(1,s)]
+//	capband:<c>    per-robot capacities uniform in [c/2, c]
+//
+// Modifiers draw from a profile RNG salted off the family seed, so the base
+// point set is byte-identical to the unmodified family; only Profiles (and
+// the instance name, which gains the modifier suffix) change.
 func Family(name string, n int, param float64, seed int64) (*Instance, error) {
+	base, mods, err := parseFamilyModifiers(name)
+	if err != nil {
+		return nil, err
+	}
 	if n < 1 {
 		return nil, fmt.Errorf("instance: family %q: n must be ≥ 1, got %d", name, n)
 	}
@@ -113,23 +160,89 @@ func Family(name string, n int, param float64, seed int64) (*Instance, error) {
 		return nil, fmt.Errorf("instance: family %q: param must be a finite positive number, got %g", name, param)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	switch strings.ToLower(name) {
+	var in *Instance
+	switch base {
 	case "line":
-		return Line(n, param), nil
+		in = Line(n, param)
 	case "walk":
-		return RandomWalk(rng, n, param), nil
+		in = RandomWalk(rng, n, param)
 	case "disk":
-		return UniformDisk(rng, n, param*10), nil
+		in = UniformDisk(rng, n, param*10)
 	case "grid":
 		k := 1
 		for k*k < n {
 			k++
 		}
-		return GridSwarm(k, param), nil
+		in = GridSwarm(k, param)
 	case "chain":
-		return ClusterChain(rng, n/8+1, 8, param*5, param), nil
+		in = ClusterChain(rng, n/8+1, 8, param*5, param)
 	default:
-		return nil, fmt.Errorf("instance: unknown family %q (have %s)",
+		return nil, fmt.Errorf("instance: unknown family %q (have %s, optionally +speedband:<s>/+capband:<c>)",
 			name, strings.Join(FamilyNames(), ", "))
 	}
+	if mods.speedBand > 0 || mods.capBand > 0 {
+		prng := rand.New(rand.NewSource(seed ^ profileSeedSalt))
+		in.Profiles = make([]Profile, len(in.Points))
+		for i := range in.Profiles {
+			in.Profiles[i].Speed = 1
+			if mods.speedBand > 0 {
+				lo, hi := math.Min(1, mods.speedBand), math.Max(1, mods.speedBand)
+				in.Profiles[i].Speed = lo + prng.Float64()*(hi-lo)
+			}
+			if mods.capBand > 0 {
+				in.Profiles[i].Capacity = mods.capBand/2 + prng.Float64()*mods.capBand/2
+			}
+		}
+		in.Name += mods.suffix
+	}
+	return in, nil
+}
+
+// familyModifiers is the parsed heterogeneity suffix of a family name.
+type familyModifiers struct {
+	speedBand float64 // 0 = absent
+	capBand   float64 // 0 = absent
+	suffix    string  // canonical "+speedband:…+capband:…" spelling
+}
+
+// parseFamilyModifiers splits "walk+speedband:2+capband:30" into the base
+// family and its modifiers. Modifier order is normalized (speedband before
+// capband) and duplicates are rejected, so two spellings of the same
+// modified family produce identical instance names.
+func parseFamilyModifiers(name string) (string, familyModifiers, error) {
+	var mods familyModifiers
+	parts := strings.Split(name, "+")
+	base := strings.ToLower(strings.TrimSpace(parts[0]))
+	for _, part := range parts[1:] {
+		part = strings.ToLower(strings.TrimSpace(part))
+		kind, val, ok := strings.Cut(part, ":")
+		if !ok {
+			return "", mods, fmt.Errorf("instance: family modifier %q: want speedband:<s> or capband:<c>", part)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil || !(v > 0) || math.IsInf(v, 1) {
+			return "", mods, fmt.Errorf("instance: family modifier %q: value must be a finite positive number", part)
+		}
+		switch kind {
+		case "speedband":
+			if mods.speedBand > 0 {
+				return "", mods, fmt.Errorf("instance: duplicate speedband modifier in %q", name)
+			}
+			mods.speedBand = v
+		case "capband":
+			if mods.capBand > 0 {
+				return "", mods, fmt.Errorf("instance: duplicate capband modifier in %q", name)
+			}
+			mods.capBand = v
+		default:
+			return "", mods, fmt.Errorf("instance: unknown family modifier %q (have speedband, capband)", kind)
+		}
+	}
+	if mods.speedBand > 0 {
+		mods.suffix += fmt.Sprintf("+speedband:%g", mods.speedBand)
+	}
+	if mods.capBand > 0 {
+		mods.suffix += fmt.Sprintf("+capband:%g", mods.capBand)
+	}
+	return base, mods, nil
 }

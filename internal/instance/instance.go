@@ -16,16 +16,69 @@ import (
 	"freezetag/internal/geom"
 )
 
+// Profile is one robot's capability profile. Speed scales travel time
+// (moving distance δ takes time δ/Speed); Capacity is the robot's private
+// energy budget, with ≤ 0 meaning "inherit the uniform budget". The
+// homogeneous model is Profile{Speed: 1, Capacity: 0} for every robot.
+type Profile struct {
+	Speed    float64 `json:"speed"`
+	Capacity float64 `json:"capacity,omitempty"`
+}
+
 // Instance is one dFTP problem: a source position and the initial positions
-// of the sleeping robots.
+// of the sleeping robots. Profiles, when non-empty, pairs Points[i] with the
+// capability profile of robot i+1 (the source is always unit-speed); an
+// empty Profiles means the homogeneous unit-speed model every layer
+// defaulted to before heterogeneity existed.
 type Instance struct {
-	Name   string       `json:"name"`
-	Source geom.Point   `json:"source"`
-	Points []geom.Point `json:"points"`
+	Name     string       `json:"name"`
+	Source   geom.Point   `json:"source"`
+	Points   []geom.Point `json:"points"`
+	Profiles []Profile    `json:"profiles,omitempty"`
 }
 
 // N returns the number of sleeping robots.
 func (in *Instance) N() int { return len(in.Points) }
+
+// Heterogeneous reports whether the instance carries per-robot profiles.
+func (in *Instance) Heterogeneous() bool { return len(in.Profiles) > 0 }
+
+// ValidateProfiles checks the profile list: it must be empty or exactly one
+// profile per point, every speed finite and > 0, and no capacity NaN.
+// Negative capacities are legal (they mean "inherit the uniform budget",
+// like a zero) but NaN is always a request error.
+func (in *Instance) ValidateProfiles() error {
+	if len(in.Profiles) == 0 {
+		return nil
+	}
+	if len(in.Profiles) != len(in.Points) {
+		return fmt.Errorf("instance: %d profiles for %d points (need one per sleeping robot)",
+			len(in.Profiles), len(in.Points))
+	}
+	for i, p := range in.Profiles {
+		if !(p.Speed > 0) || math.IsInf(p.Speed, 1) { // rejects NaN, ≤ 0, +Inf
+			return fmt.Errorf("instance: profile %d: speed must be finite and > 0, got %g", i, p.Speed)
+		}
+		if math.IsNaN(p.Capacity) {
+			return fmt.Errorf("instance: profile %d: capacity must not be NaN", i)
+		}
+	}
+	return nil
+}
+
+// MinSpeed returns the slowest speed across the swarm including the
+// unit-speed source: exactly 1 for homogeneous instances, and the factor by
+// which worst-case travel-time bounds must be inflated for heterogeneous
+// ones.
+func (in *Instance) MinSpeed() float64 {
+	min := 1.0
+	for _, p := range in.Profiles {
+		if p.Speed > 0 && p.Speed < min {
+			min = p.Speed
+		}
+	}
+	return min
+}
 
 // Params computes the exact Euclidean (ρ*, ℓ*, ξ) of the instance.
 func (in *Instance) Params() diskgraph.Params {
@@ -40,9 +93,11 @@ func (in *Instance) ParamsIn(m geom.Metric) diskgraph.Params {
 }
 
 // MarshalCanonical encodes the instance as indented JSON with deterministic
-// field order (name, source, points — the struct declaration order, which
-// encoding/json preserves). Equal instances always marshal to equal bytes;
-// the canonical request hashes in canonical.go rely on this stability.
+// field order (name, source, points, then profiles when present — the
+// struct declaration order, which encoding/json preserves; empty Profiles
+// are omitted, so homogeneous instances marshal exactly as they always
+// have). Equal instances always marshal to equal bytes; the canonical
+// request hashes in canonical.go rely on this stability.
 func (in *Instance) MarshalCanonical() ([]byte, error) {
 	data, err := json.MarshalIndent(in, "", "  ")
 	if err != nil {

@@ -28,7 +28,7 @@ func TestRaceDeterministicAcrossWorkers(t *testing.T) {
 		MinMakespan{},
 		MinEnergy{},
 		Weighted{WMakespan: 0.5, WEnergy: 0.5},
-		FirstUnder{MaxMakespan: 1e9}, // everyone satisfies: racer 0 wins, rest cancelled
+		FirstUnder{MaxMakespan: 1e9},                   // everyone satisfies: racer 0 wins, rest cancelled
 		FirstUnder{MaxMakespan: 1e-9, MaxEnergy: 1e-9}, // nobody satisfies: fallback
 	}
 	for _, obj := range objectives {

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+const profiledBody = `{"algorithm":"agrid","family":"line","n":4,"param":1,` +
+	`"profiles":[{"speed":1},{"speed":0.5},{"speed":0.25,"capacity":30},{"speed":2}]}`
+
+// A profiled solve round-trips: 200, the response echoes the profiles the
+// solve ran under, the result is content-addressed (miss then hit with
+// byte-identical bodies), and the hash differs from the homogeneous twin.
+func TestHTTPSolveProfiled(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+
+	r1, b1 := postSolve(t, srv, profiledBody)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("profiled solve: %d %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("cold X-Cache = %q", got)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(b1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Profiles) != 4 || out.Profiles[2].Speed != 0.25 || out.Profiles[2].Capacity != 30 {
+		t.Fatalf("response did not echo the profiles: %+v", out.Profiles)
+	}
+	if !out.AllAwake {
+		t.Fatalf("profiled solve incomplete: %s", b1)
+	}
+
+	r2, b2 := postSolve(t, srv, profiledBody)
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("warm X-Cache = %q", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cached body differs:\n%s\n%s", b1, b2)
+	}
+
+	// The homogeneous twin is a different request with a different key and
+	// no profiles echo.
+	r3, b3 := postSolve(t, srv, `{"algorithm":"agrid","family":"line","n":4,"param":1}`)
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("homogeneous twin: %d %s", r3.StatusCode, b3)
+	}
+	var twin SolveResponse
+	if err := json.Unmarshal(b3, &twin); err != nil {
+		t.Fatal(err)
+	}
+	if twin.Hash == out.Hash {
+		t.Fatalf("profiled and homogeneous requests share hash %s", out.Hash)
+	}
+	if len(twin.Profiles) != 0 {
+		t.Fatalf("homogeneous response grew a profiles field: %s", b3)
+	}
+}
+
+// Bad profiles are request errors, not solver crashes: zero/negative/NaN
+// speeds and count mismatches all map to 400 with a JSON error body.
+func TestHTTPSolveProfileValidation(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	bad := []string{
+		`{"algorithm":"agrid","family":"line","n":3,"param":1,"profiles":[{"speed":1},{"speed":0},{"speed":1}]}`,
+		`{"algorithm":"agrid","family":"line","n":3,"param":1,"profiles":[{"speed":1},{"speed":-2},{"speed":1}]}`,
+		`{"algorithm":"agrid","family":"line","n":3,"param":1,"profiles":[{"speed":1}]}`,
+	}
+	for _, body := range bad {
+		resp, data := postSolve(t, srv, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", body, resp.StatusCode, data)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", body, data)
+		}
+	}
+}
+
+// Family-modifier profiles flow through the service: solving a speedband
+// family echoes the generated profiles, and explicit request profiles
+// override them (a different request, different hash).
+func TestHTTPSolveFamilyModifier(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	r1, b1 := postSolve(t, srv, `{"algorithm":"awave","family":"line+speedband:0.5","n":4,"param":1,"seed":2}`)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("modifier solve: %d %s", r1.StatusCode, b1)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(b1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Profiles) != 4 {
+		t.Fatalf("speedband family echoed %d profiles, want 4: %s", len(out.Profiles), b1)
+	}
+	for i, p := range out.Profiles {
+		if p.Speed < 0.5 || p.Speed > 1 {
+			t.Errorf("profile %d speed %g outside [0.5, 1]", i, p.Speed)
+		}
+	}
+
+	r2, b2 := postSolve(t, srv,
+		`{"algorithm":"awave","family":"line+speedband:0.5","n":4,"param":1,"seed":2,`+
+			`"profiles":[{"speed":1},{"speed":1},{"speed":1},{"speed":1}]}`)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("override solve: %d %s", r2.StatusCode, b2)
+	}
+	var over SolveResponse
+	if err := json.Unmarshal(b2, &over); err != nil {
+		t.Fatal(err)
+	}
+	if over.Hash == out.Hash {
+		t.Fatal("request-level profiles did not change the key")
+	}
+	for i, p := range over.Profiles {
+		if p.Speed != 1 {
+			t.Errorf("override profile %d speed %g, want 1", i, p.Speed)
+		}
+	}
+}
+
+// The portfolio endpoint accepts profiles too and races every entrant under
+// them.
+func TestHTTPPortfolioProfiled(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+	body := `{"algorithms":["agrid","awave"],"family":"line","n":4,"param":1,` +
+		`"profiles":[{"speed":0.5},{"speed":0.5},{"speed":1},{"speed":1}]}`
+	resp, err := http.Post(srv.URL+"/v1/portfolio", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profiled race: %d %s", resp.StatusCode, data)
+	}
+	var out struct {
+		AllAwake bool   `json:"allAwake"`
+		Winner   string `json:"winner"`
+		Racers   []struct {
+			Status string `json:"status"`
+		} `json:"racers"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Racers) != 2 {
+		t.Fatalf("racers = %d, want 2: %s", len(out.Racers), data)
+	}
+	if !out.AllAwake || out.Winner == "" {
+		t.Fatalf("profiled race incomplete: %s", data)
+	}
+	for i, r := range out.Racers {
+		if r.Status != "won" && r.Status != "completed" {
+			t.Errorf("racer %d status %q under profiles: %s", i, r.Status, data)
+		}
+	}
+}

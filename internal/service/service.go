@@ -193,15 +193,20 @@ func parseMetric(s string) (geom.Metric, error) {
 // resolveInstance materializes the instance/tuple/budget half of a request
 // (shared by solve and portfolio requests): inline instance wins over
 // family, the tuple defaults to dftp.TupleForIn(metric, instance), budgets
-// ≤ 0 collapse to 0. All failures wrap ErrBadRequest.
+// ≤ 0 collapse to 0. Request-level profiles override whatever profiles the
+// inline instance or family modifiers supplied, and the combined profile
+// list is validated (speeds finite and > 0, one per robot). All failures
+// wrap ErrBadRequest.
 //
 // Derived tuples of family-generated requests are memoized under
 // (metric, family, n, param, seed): the derivation walks the whole point
 // set (ℓ*, ρ*, ξ), and the same family shape recurs across algorithms,
 // objectives, and budgets — all of which change the content hash but not
-// the instance. A memo hit turns the cold path's parameter derivation into
-// a map lookup (paramsMemoHits in /statsz).
-func (s *Service) resolveInstance(m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64) (*instance.Instance, dftp.Tuple, float64, error) {
+// the instance. Profiles never affect the derivation either — (ℓ*, ρ*, ξ)
+// are pure geometry — so the memo is profile-blind by construction. A memo
+// hit turns the cold path's parameter derivation into a map lookup
+// (paramsMemoHits in /statsz).
+func (s *Service) resolveInstance(m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64, profiles []instance.Profile) (*instance.Instance, dftp.Tuple, float64, error) {
 	var tup dftp.Tuple
 	inst := inline
 	if inst == nil {
@@ -215,6 +220,15 @@ func (s *Service) resolveInstance(m geom.Metric, inline *instance.Instance, fami
 		}
 	} else if len(inst.Points) == 0 {
 		return nil, tup, 0, fmt.Errorf("%w: inline instance has no points", ErrBadRequest)
+	}
+	if len(profiles) > 0 {
+		// Copy-on-write: never mutate the caller's inline instance.
+		cp := *inst
+		cp.Profiles = profiles
+		inst = &cp
+	}
+	if err := inst.ValidateProfiles(); err != nil {
+		return nil, tup, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	if tupJSON != nil {
 		tup = dftp.Tuple{Ell: tupJSON.Ell, Rho: tupJSON.Rho, N: tupJSON.N}
@@ -259,11 +273,13 @@ func paramsKey(m geom.Metric, inline *instance.Instance, family string, n int, p
 }
 
 // shapeKey is the memo key of a family-generated request: every scalar that
-// determines the content hash — including the metric's canonical name —
-// without materializing the instance. Inline instances are not memoized
-// (their hash already requires walking the points, so there is nothing to
-// save).
-func shapeKey(solverName string, m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64) (string, bool) {
+// determines the content hash — including the metric's canonical name and
+// any request-level profiles — without materializing the instance. Inline
+// instances are not memoized (their hash already requires walking the
+// points, so there is nothing to save). Family-modifier profiles need no
+// extra key material: they are a deterministic function of the family
+// string, which is already in the key.
+func shapeKey(solverName string, m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64, profiles []instance.Profile) (string, bool) {
 	if inline != nil || family == "" {
 		return "", false
 	}
@@ -274,6 +290,13 @@ func shapeKey(solverName string, m geom.Metric, inline *instance.Instance, famil
 		math.Float64bits(param), seed, math.Float64bits(budget))
 	if tupJSON != nil {
 		key += fmt.Sprintf("|t%x,%x,%d", math.Float64bits(tupJSON.Ell), math.Float64bits(tupJSON.Rho), tupJSON.N)
+	}
+	for _, p := range profiles {
+		cap := p.Capacity
+		if cap <= 0 {
+			cap = 0 // same normalization as the canonical encoding
+		}
+		key += fmt.Sprintf("|f%x,%x", math.Float64bits(p.Speed), math.Float64bits(cap))
 	}
 	return key, true
 }
@@ -294,7 +317,7 @@ type resolved struct {
 // request hash. All failures wrap ErrBadRequest.
 func (s *Service) resolve(alg dftp.Algorithm, m geom.Metric, req SolveRequest) (resolved, error) {
 	var r resolved
-	inst, tup, budget, err := s.resolveInstance(m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	inst, tup, budget, err := s.resolveInstance(m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
 	if err != nil {
 		return r, err
 	}
@@ -355,7 +378,7 @@ func portfolioFor(req PortfolioRequest) (portfolio.Portfolio, error) {
 // validated) portfolio and metric and computes the request hash.
 func (s *Service) resolvePortfolio(pf portfolio.Portfolio, m geom.Metric, req PortfolioRequest) (resolvedPortfolio, error) {
 	var r resolvedPortfolio
-	inst, tup, budget, err := s.resolveInstance(m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	inst, tup, budget, err := s.resolveInstance(m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
 	if err != nil {
 		return r, err
 	}
@@ -386,7 +409,7 @@ func (s *Service) Solve(req SolveRequest) (Solved, error) {
 	if err != nil {
 		return Solved{}, err
 	}
-	key, keyed := shapeKey(alg.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	key, keyed := shapeKey(alg.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
 			return sv, err
@@ -435,7 +458,7 @@ func (s *Service) SolvePortfolio(req PortfolioRequest) (Solved, error) {
 	if err != nil {
 		return Solved{}, err
 	}
-	key, keyed := shapeKey(pf.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget)
+	key, keyed := shapeKey(pf.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
 			return sv, err

@@ -28,6 +28,12 @@ type SolveRequest struct {
 	Seed      int64              `json:"seed,omitempty"`
 	Tuple     *TupleJSON         `json:"tuple,omitempty"`
 	Budget    float64            `json:"budget,omitempty"`
+	// Profiles, when non-empty, makes the solve heterogeneous: one profile
+	// per sleeping robot (speeds finite and > 0, or the request is a 400).
+	// It overrides any profiles the instance or family modifiers supplied,
+	// and is content-addressed — two requests differing only in profiles
+	// hash to different keys.
+	Profiles []instance.Profile `json:"profiles,omitempty"`
 }
 
 // TupleJSON is the wire form of the (ℓ, ρ, n) knowledge tuple.
@@ -57,6 +63,10 @@ type SolveResponse struct {
 	Rounds      int       `json:"rounds"`
 	Misses      []string  `json:"misses,omitempty"`
 	Violations  []string  `json:"violations,omitempty"`
+	// Profiles echoes the per-robot capability profiles the solve ran under
+	// (omitted for homogeneous solves, keeping their bodies byte-identical
+	// to the pre-profile wire format).
+	Profiles []instance.Profile `json:"profiles,omitempty"`
 }
 
 // Named is anything with a canonical solver name: a dftp.Algorithm, or a
@@ -88,6 +98,7 @@ func NewSolveResponse(hash string, alg Named, m geom.Metric, in *instance.Instan
 		Rounds:      rep.Rounds,
 		Misses:      rep.Misses,
 		Violations:  res.Violations,
+		Profiles:    in.Profiles,
 	}
 }
 
@@ -109,6 +120,9 @@ type PortfolioRequest struct {
 	Seed       int64              `json:"seed,omitempty"`
 	Tuple      *TupleJSON         `json:"tuple,omitempty"`
 	Budget     float64            `json:"budget,omitempty"`
+	// Profiles races every entrant under per-robot capability profiles; see
+	// SolveRequest.Profiles for the validation and hashing rules.
+	Profiles []instance.Profile `json:"profiles,omitempty"`
 }
 
 // RacerStat is one entrant's outcome in a PortfolioResponse. Every field is

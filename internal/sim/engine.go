@@ -11,6 +11,15 @@ import (
 	"freezetag/internal/spatial"
 )
 
+// Profile is one sleeping robot's capability profile: a travel speed
+// (distance δ takes time δ/Speed) and a private energy capacity (≤ 0 means
+// "inherit Config.Budget"). It mirrors instance.Profile without importing
+// the instance layer.
+type Profile struct {
+	Speed    float64
+	Capacity float64
+}
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Source is the initial position of the always-awake source robot.
@@ -21,6 +30,10 @@ type Config struct {
 	// Budget is the per-robot energy budget B. Zero or negative means
 	// unconstrained (stored as +Inf).
 	Budget float64
+	// Profiles, when non-empty, gives robot i+1 the capability profile
+	// Profiles[i] (one entry per sleeper; the source is always unit-speed
+	// and keeps Budget). Empty means the homogeneous unit-speed model.
+	Profiles []Profile
 	// Metric is the distance the whole model is measured in: travel times,
 	// energy, and the radius-1 Look. Nil means Euclidean (ℓ2), the paper's
 	// setting.
@@ -44,10 +57,12 @@ type Event struct {
 // Engine is not safe for concurrent use from outside; internally it enforces
 // a strict handoff so at most one robot process executes at any instant.
 type Engine struct {
-	now    float64
-	seq    int64
-	metric geom.Metric
-	robots []*Robot
+	now      float64
+	seq      int64
+	metric   geom.Metric
+	robots   []*Robot
+	minSpeed float64 // slowest robot speed (source included); 1 when homogeneous
+	hetero   bool    // Config.Profiles was non-empty
 
 	sleeping *spatial.Grid // indexes robots by id while asleep (look radius 1)
 	awake    *spatial.Grid // indexes awake robots by id
@@ -165,9 +180,14 @@ func NewEngine(cfg Config) *Engine {
 		budget = math.Inf(1)
 	}
 	n := len(cfg.Sleepers)
+	if len(cfg.Profiles) != 0 && len(cfg.Profiles) != n {
+		panic(fmt.Sprintf("sim: %d profiles for %d sleepers", len(cfg.Profiles), n))
+	}
 	metric := geom.MetricOrL2(cfg.Metric)
 	e := &Engine{
 		metric:   metric,
+		minSpeed: 1,
+		hetero:   len(cfg.Profiles) > 0,
 		sleeping: spatial.NewGridInCap(metric, 1, n),
 		awake:    spatial.NewGridInCap(metric, 1, n+1),
 		pq:       make(eventHeap, 0, n+2),
@@ -178,13 +198,27 @@ func NewEngine(cfg Config) *Engine {
 	}
 	block := make([]Robot, n+1)
 	e.robots = make([]*Robot, n+1)
-	block[0] = Robot{id: SourceID, initPos: cfg.Source, pos: cfg.Source, state: Awake, budget: budget}
+	block[0] = Robot{id: SourceID, initPos: cfg.Source, pos: cfg.Source, state: Awake, budget: budget, speed: 1}
 	e.robots[0] = &block[0]
 	e.awake.Insert(SourceID, cfg.Source)
 	for i, p := range cfg.Sleepers {
-		block[i+1] = Robot{id: i + 1, initPos: p, pos: p, state: Asleep, budget: budget}
+		speed, b := 1.0, budget
+		if len(cfg.Profiles) > 0 {
+			pr := cfg.Profiles[i]
+			if !(pr.Speed > 0) || math.IsInf(pr.Speed, 1) {
+				panic(fmt.Sprintf("sim: robot %d speed must be finite and > 0, got %g", i+1, pr.Speed))
+			}
+			speed = pr.Speed
+			if pr.Capacity > 0 {
+				b = pr.Capacity
+			}
+		}
+		block[i+1] = Robot{id: i + 1, initPos: p, pos: p, state: Asleep, budget: b, speed: speed}
 		e.robots[i+1] = &block[i+1]
 		e.sleeping.Insert(i+1, p)
+		if speed < e.minSpeed {
+			e.minSpeed = speed
+		}
 	}
 	e.asleepCount = n
 	return e
@@ -196,6 +230,17 @@ func (e *Engine) Now() float64 { return e.now }
 // Metric returns the distance the run is measured in. Algorithm code must
 // compute all travel and visibility distances through it.
 func (e *Engine) Metric() geom.Metric { return e.metric }
+
+// MinSpeed returns the slowest robot speed in the swarm (source included).
+// Worst-case travel-time bounds calibrated for unit speed stay valid when
+// divided by it; it is exactly 1 for a homogeneous engine, so that division
+// is then the IEEE-754 identity.
+func (e *Engine) MinSpeed() float64 { return e.minSpeed }
+
+// Heterogeneous reports whether the engine was built with per-robot
+// profiles. Algorithm code uses it to keep the homogeneous fast paths
+// byte-identical to the pre-profile model.
+func (e *Engine) Heterogeneous() bool { return e.hetero }
 
 // dist is the engine-level distance between two points under the run metric.
 func (e *Engine) dist(p, q geom.Point) float64 { return e.metric.Dist(p, q) }

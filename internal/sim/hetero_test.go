@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"freezetag/internal/geom"
+)
+
+func builtinMetrics(t *testing.T) map[string]geom.Metric {
+	t.Helper()
+	ms := map[string]geom.Metric{"l2 (nil)": nil}
+	for _, name := range []string{"l1", "l2", "linf", "lp:3"} {
+		m, err := geom.ParseMetric(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[name] = m
+	}
+	return ms
+}
+
+// Property: a profiled robot moving a path takes exactly pathLength/speed
+// time under every metric, and spends pathLength energy — speed scales time,
+// never energy.
+func TestHeteroTravelTimeIsDistOverSpeed(t *testing.T) {
+	for name, m := range builtinMetrics(t) {
+		rng := rand.New(rand.NewSource(91))
+		for trial := 0; trial < 10; trial++ {
+			n := 1 + rng.Intn(4)
+			sleepers := make([]geom.Point, n)
+			profiles := make([]Profile, n)
+			for i := range sleepers {
+				sleepers[i] = geom.Origin // co-located for instant wake
+				profiles[i] = Profile{Speed: 0.2 + rng.Float64()*2.8}
+			}
+			e := NewEngine(Config{
+				Source: geom.Origin, Sleepers: sleepers,
+				Metric: m, Profiles: profiles,
+			})
+			walks := make([][]geom.Point, n+1)
+			dist := make([]float64, n+1)
+			mm := geom.MetricOrL2(m)
+			for r := 0; r <= n; r++ {
+				cur := geom.Origin
+				for s := 0; s < 1+rng.Intn(5); s++ {
+					next := geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+					dist[r] += mm.Dist(cur, next)
+					cur = next
+					walks[r] = append(walks[r], next)
+				}
+			}
+			done := make([]float64, n+1)
+			e.Spawn(SourceID, func(p *Proc) {
+				for i := 1; i <= n; i++ {
+					p.Wake(i, func(q *Proc) {
+						if err := q.MovePath(walks[q.ID()]); err != nil {
+							t.Errorf("walk: %v", err)
+						}
+						done[q.ID()] = q.Now()
+					})
+				}
+				if err := p.MovePath(walks[0]); err != nil {
+					t.Errorf("walk: %v", err)
+				}
+				done[0] = p.Now()
+			})
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r <= n; r++ {
+				speed := 1.0 // source
+				if r > 0 {
+					speed = profiles[r-1].Speed
+				}
+				if want := dist[r] / speed; math.Abs(done[r]-want) > 1e-9 {
+					t.Fatalf("%s trial %d robot %d (speed %g): finished at %v, want dist/speed = %v",
+						name, trial, r, speed, done[r], want)
+				}
+				if math.Abs(res.EnergyByRobot[r]-dist[r]) > 1e-9 {
+					t.Fatalf("%s trial %d robot %d: energy %v, want distance %v (speed must not scale energy)",
+						name, trial, r, res.EnergyByRobot[r], dist[r])
+				}
+			}
+		}
+	}
+}
+
+// Property: no wake-up chain beats physics — robot i cannot wake before
+// d_m(source, pᵢ)/s_max, the time the fastest robot in the swarm would need
+// to fly straight there. Holds under every metric and any courier chain.
+func TestHeteroWakeTimeSpeedScaledFloor(t *testing.T) {
+	for name, m := range builtinMetrics(t) {
+		rng := rand.New(rand.NewSource(73))
+		mm := geom.MetricOrL2(m)
+		for trial := 0; trial < 8; trial++ {
+			n := 3 + rng.Intn(5)
+			sleepers := make([]geom.Point, n)
+			profiles := make([]Profile, n)
+			smax := 1.0 // the unit-speed source
+			for i := range sleepers {
+				sleepers[i] = geom.Pt(rng.Float64()*8-4, rng.Float64()*8-4)
+				profiles[i] = Profile{Speed: 0.25 + rng.Float64()*1.75}
+				if profiles[i].Speed > smax {
+					smax = profiles[i].Speed
+				}
+			}
+			e := NewEngine(Config{
+				Source: geom.Origin, Sleepers: sleepers,
+				Metric: m, Profiles: profiles,
+			})
+			// Greedy relay: every woken robot takes the next still-assigned
+			// sleeper, so couriers of all speeds participate.
+			next := 0
+			var assign func(p *Proc)
+			assign = func(p *Proc) {
+				for {
+					if next >= n {
+						return
+					}
+					i := next + 1
+					next++
+					if err := p.MoveTo(sleepers[i-1]); err != nil {
+						t.Errorf("move: %v", err)
+						return
+					}
+					p.Wake(i, assign)
+				}
+			}
+			e.Spawn(SourceID, assign)
+			if _, err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= n; i++ {
+				r := e.Robot(i)
+				floor := mm.Dist(geom.Origin, r.InitPos()) / smax
+				if r.WakeTime() < floor-1e-9 {
+					t.Fatalf("%s trial %d robot %d woke at %v, below speed-scaled floor %v",
+						name, trial, i, r.WakeTime(), floor)
+				}
+			}
+		}
+	}
+}
+
+// A heterogeneous engine with all-unit profiles times and budgets every move
+// exactly like the homogeneous engine: d/1.0 is d bit-for-bit, so attaching
+// explicit unit profiles must not perturb a single event.
+func TestHeteroUnitProfilesMatchHomogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := 6
+	sleepers := make([]geom.Point, n)
+	for i := range sleepers {
+		sleepers[i] = geom.Pt(rng.Float64()*6-3, rng.Float64()*6-3)
+	}
+	run := func(profiles []Profile) Result {
+		e := NewEngine(Config{Source: geom.Origin, Sleepers: sleepers, Profiles: profiles, Budget: 40})
+		e.Spawn(SourceID, func(p *Proc) {
+			for i := 1; i <= n; i++ {
+				if err := p.MoveTo(sleepers[i-1]); err != nil {
+					t.Fatal(err)
+				}
+				p.Wake(i, nil)
+			}
+		})
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unit := make([]Profile, n)
+	for i := range unit {
+		unit[i] = Profile{Speed: 1}
+	}
+	a, b := run(nil), run(unit)
+	if a.Makespan != b.Makespan || a.Duration != b.Duration || a.TotalEnergy != b.TotalEnergy {
+		t.Fatalf("unit profiles perturbed the run: %+v vs %+v", a, b)
+	}
+	for r := 0; r <= n; r++ {
+		if a.EnergyByRobot[r] != b.EnergyByRobot[r] {
+			t.Fatalf("robot %d energy differs: %v vs %v", r, a.EnergyByRobot[r], b.EnergyByRobot[r])
+		}
+	}
+}
+
+// Per-robot capacities bind individually: a robot with a small private
+// capacity halts even when the uniform budget is generous, and one with a
+// large capacity outlives a tight uniform budget.
+func TestHeteroCapacityOverridesBudget(t *testing.T) {
+	sleepers := []geom.Point{geom.Pt(1, 0), geom.Pt(2, 0)}
+	e := NewEngine(Config{
+		Source:   geom.Origin,
+		Sleepers: sleepers,
+		Budget:   100,
+		Profiles: []Profile{{Speed: 1, Capacity: 0.5}, {Speed: 1, Capacity: 200}},
+	})
+	var tightErr, looseErr error
+	e.Spawn(SourceID, func(p *Proc) {
+		if err := p.MoveTo(sleepers[0]); err != nil {
+			t.Fatal(err)
+		}
+		p.Wake(1, func(q *Proc) {
+			tightErr = q.MoveTo(geom.Pt(50, 0)) // needs 49 > capacity 0.5
+		})
+		if err := p.MoveTo(sleepers[1]); err != nil {
+			t.Fatal(err)
+		}
+		p.Wake(2, func(q *Proc) {
+			looseErr = q.MoveTo(geom.Pt(150, 0)) // needs 148 ≤ capacity 200
+		})
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tightErr == nil {
+		t.Error("robot 1 exceeded its 0.5 capacity without error")
+	}
+	if looseErr != nil {
+		t.Errorf("robot 2 halted despite capacity 200: %v", looseErr)
+	}
+}

@@ -75,12 +75,21 @@ func (e *ErrBudget) Error() string {
 	return fmt.Sprintf("sim: robot %d out of energy (needs %.4g, has %.4g)", e.Robot, e.Needed, e.Left)
 }
 
-// MoveTo moves the robot in a straight line to dst at unit speed, blocking
-// for virtual time equal to the metric distance (straight segments are
-// geodesics of every supported metric). If the move would exceed the energy
-// budget the robot advances as far as its budget allows, is halted, and an
-// *ErrBudget is returned.
+// MoveTo moves the robot in a straight line to dst at its own speed,
+// blocking for virtual time equal to the metric distance divided by the
+// robot's speed (straight segments are geodesics of every supported
+// metric; homogeneous robots have speed exactly 1, so the division is the
+// identity). If the move would exceed the energy budget the robot advances
+// as far as its budget allows, is halted, and an *ErrBudget is returned —
+// budgets bound distance, not time, so a fast robot drains its budget no
+// slower per meter than a slow one.
 func (p *Proc) MoveTo(dst geom.Point) error {
+	return p.moveToAt(dst, p.r.speed)
+}
+
+// moveToAt is MoveTo at an explicit speed: Escort uses it to slow a team
+// leader down to the pace of its slowest member.
+func (p *Proc) moveToAt(dst geom.Point, speed float64) error {
 	d := p.eng.dist(p.r.pos, dst)
 	if d <= geom.Eps {
 		return nil
@@ -89,7 +98,7 @@ func (p *Proc) MoveTo(dst geom.Point) error {
 		// Partial move to budget exhaustion, then halt.
 		stop := geom.MoveToward(p.eng.metric, p.r.pos, dst, left)
 		if left > 0 {
-			p.yieldAt(p.eng.now + left)
+			p.yieldAt(p.eng.now + left/speed)
 			p.eng.moveRobot(p.r, stop, left)
 		}
 		p.r.stopped = true
@@ -98,7 +107,7 @@ func (p *Proc) MoveTo(dst geom.Point) error {
 		p.eng.emit(Event{T: p.eng.now, Robot: p.r.id, Kind: "halt", Pos: p.r.pos})
 		return err
 	}
-	p.yieldAt(p.eng.now + d)
+	p.yieldAt(p.eng.now + d/speed)
 	p.eng.moveRobot(p.r, dst, d)
 	return nil
 }
@@ -192,15 +201,25 @@ func (p *Proc) Wake(id int, handler func(*Proc)) {
 
 // Escort moves the caller and every robot in ids (all awake, co-located with
 // the caller) to dst as one co-located group: everyone pays the distance in
-// energy, and the group arrives together after that travel time. It
-// implements team movement. If any member exhausts its budget, that member
-// halts in place and is dropped from the team; the returned slice holds the
-// ids that completed the move (the caller is not listed). A caller budget
-// exhaustion returns the error and moves nobody further.
+// energy, and the group arrives together after that travel time. The group
+// travels at the speed of its slowest member (the caller included) — a team
+// stays a team, so its fast robots wait for the slow ones. It implements
+// team movement. If any member exhausts its budget, that member halts in
+// place and is dropped from the team — as is any member already halted by an
+// earlier exhaustion, so a stale roster keeps working; the returned slice
+// holds the ids that completed the move (the caller is not listed). A caller
+// budget exhaustion returns the error and moves nobody further.
 func (p *Proc) Escort(ids []int, dst geom.Point) ([]int, error) {
 	d := p.eng.dist(p.r.pos, dst)
+	speed := p.r.speed
 	for _, id := range ids {
 		r := p.eng.Robot(id)
+		if r.stopped {
+			// Halted by an earlier budget exhaustion (already recorded as a
+			// violation): the team leaves it where it died rather than
+			// treating the stale roster entry as an algorithm bug.
+			continue
+		}
 		if r.state != Awake {
 			panic(fmt.Sprintf("sim: Escort of non-awake robot %d", id))
 		}
@@ -208,13 +227,19 @@ func (p *Proc) Escort(ids []int, dst geom.Point) ([]int, error) {
 			panic(fmt.Sprintf("sim: Escort member %d at %v not co-located with leader at %v",
 				id, r.pos, p.r.pos))
 		}
+		if r.speed < speed {
+			speed = r.speed
+		}
 	}
-	if err := p.MoveTo(dst); err != nil {
+	if err := p.moveToAt(dst, speed); err != nil {
 		return nil, err
 	}
 	arrived := make([]int, 0, len(ids))
 	for _, id := range ids {
 		r := p.eng.Robot(id)
+		if r.stopped {
+			continue
+		}
 		if d > r.remaining()+geom.Eps {
 			// Member stops where its budget runs out along the segment.
 			left := r.remaining()

@@ -9,9 +9,11 @@
 // programming model of concurrent robots without nondeterminism.
 //
 // Model facts enforced here, matching §1.2 of the paper:
-//   - robots move at unit speed (moving distance δ takes time δ), with all
-//     distances measured in the engine's Config.Metric (ℓ2 by default; any
-//     ℓp norm may be plugged in — see geom.Metric);
+//   - robots move at unit speed by default (moving distance δ takes time
+//     δ), with all distances measured in the engine's Config.Metric (ℓ2 by
+//     default; any ℓp norm may be plugged in — see geom.Metric); a
+//     heterogeneous engine (Config.Profiles) gives robot i speed sᵢ, so its
+//     moves take time δ/sᵢ while energy stays distance-based;
 //   - snapshots are discrete: Look returns robots within metric distance 1
 //     at the instant of the call, and movement alone discovers nothing;
 //   - waking and variable exchange require co-location;
@@ -62,6 +64,7 @@ type Robot struct {
 	state   State
 	energy  float64 // total distance moved so far
 	budget  float64 // energy budget B; +Inf when unconstrained
+	speed   float64 // travel speed (distance δ takes time δ/speed); 1 in the homogeneous model
 	wakeAt  float64 // virtual time of awakening; 0 for the source
 	stopped bool    // true once the robot's energy budget was exhausted
 }
@@ -84,6 +87,10 @@ func (r *Robot) Energy() float64 { return r.energy }
 
 // Budget returns the robot's energy budget (+Inf when unconstrained).
 func (r *Robot) Budget() float64 { return r.budget }
+
+// Speed returns the robot's travel speed: moving distance δ takes time
+// δ/Speed. Exactly 1 for every robot of a homogeneous engine.
+func (r *Robot) Speed() float64 { return r.speed }
 
 // WakeTime returns the virtual time at which the robot was awakened. Zero for
 // the source and for robots still asleep (check State to distinguish).

@@ -21,17 +21,35 @@ import (
 
 // Node is one robot in a wake-up tree. Children has length ≤ 2; Children[0]
 // is the subtree the newly woken robot takes over, Children[1] the subtree
-// the waker keeps (Algorithm 1's child1/child2).
+// the waker keeps (Algorithm 1's child1/child2). Speed and Capacity carry
+// the robot's capability profile when the tree was built from heterogeneous
+// targets (both zero in the homogeneous model: speed 0 reads as 1,
+// capacity 0 as unconstrained).
 type Node struct {
 	ID       int
 	Pos      geom.Point
+	Speed    float64
+	Capacity float64
 	Children []*Node
 }
 
-// Target pairs a sleeping robot's id with its (initial) position.
+// Target pairs a sleeping robot's id with its (initial) position and,
+// optionally, its capability profile: Speed 0 means unit speed and
+// Capacity 0 means unconstrained, so zero-valued targets reproduce the
+// homogeneous model exactly.
 type Target struct {
-	ID  int
-	Pos geom.Point
+	ID       int
+	Pos      geom.Point
+	Speed    float64
+	Capacity float64
+}
+
+// speedOf normalizes a profile speed: 0 (absent) reads as unit speed.
+func speedOf(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return s
 }
 
 // BuildTree builds a wake-up tree over targets for a robot starting at
@@ -47,37 +65,60 @@ func BuildTree(start geom.Point, targets []Target) *Node {
 // axis-aligned and works unchanged for every supported metric; since all ℓp
 // distances are within a constant factor of each other in the plane, the
 // O(diam) makespan guarantee carries over with the metric's constant.
+//
+// Heterogeneous targets (any Speed ∉ {0, 1} or Capacity > 0) switch the
+// greedy to speed-weighted time (argmin dist/speed: a fast robot slightly
+// farther away is woken first, because waking it is an investment in the
+// rest of the propagation) and make the Algorithm 1 handoff capacity-aware:
+// the deeper subtree goes to the woken robot when it is fast enough — and
+// has the capacity — to carry it, and stays with the waker otherwise.
+// Homogeneous targets take the exact pre-profile code path: every weight
+// divides by speed 1, and no handoff swap ever fires.
 func BuildTreeIn(m geom.Metric, start geom.Point, targets []Target) *Node {
 	if len(targets) == 0 {
 		return nil
 	}
 	pts := make([]geom.Point, 0, len(targets)+1)
 	pts = append(pts, start)
+	hetero := false
 	for _, t := range targets {
 		pts = append(pts, t.Pos)
+		if (t.Speed > 0 && t.Speed != 1) || t.Capacity > 0 {
+			hetero = true
+		}
 	}
 	region := geom.BoundingRect(pts)
 	ts := append([]Target(nil), targets...)
-	return build(geom.MetricOrL2(m), ts, region, start)
+	b := &builder{m: geom.MetricOrL2(m), hetero: hetero}
+	return b.build(ts, region, start)
+}
+
+// builder carries the per-construction state of one BuildTreeIn call.
+type builder struct {
+	m      geom.Metric
+	hetero bool
 }
 
 // build constructs the subtree for the targets inside region, to be woken by
 // a robot currently at from. It owns (and may reorder) ts.
-func build(m geom.Metric, ts []Target, region geom.Rect, from geom.Point) *Node {
+func (b *builder) build(ts []Target, region geom.Rect, from geom.Point) *Node {
 	if len(ts) == 0 {
 		return nil
 	}
-	// Wake the target nearest to the current position: cost ≤ diam(region).
+	m := b.m
+	// Wake the target nearest in travel time to the current position: cost ≤
+	// diam(region)/minSpeed. Homogeneous speeds are exactly 1, so the weight
+	// is the plain distance and the pre-profile tree is reproduced.
 	nearest := 0
 	bd := math.Inf(1)
 	for i, t := range ts {
-		if d := m.Dist(from, t.Pos); d < bd ||
+		if d := m.Dist(from, t.Pos) / speedOf(t.Speed); d < bd ||
 			(d == bd && (t.ID < ts[nearest].ID)) {
 			nearest, bd = i, d
 		}
 	}
 	ts[0], ts[nearest] = ts[nearest], ts[0]
-	node := &Node{ID: ts[0].ID, Pos: ts[0].Pos}
+	node := &Node{ID: ts[0].ID, Pos: ts[0].Pos, Speed: ts[0].Speed, Capacity: ts[0].Capacity}
 	rest := ts[1:]
 	if len(rest) == 0 {
 		return node
@@ -86,7 +127,7 @@ func build(m geom.Metric, ts []Target, region geom.Rect, from geom.Point) *Node 
 	// bisection cannot separate them. Chain the remaining targets; every
 	// edge has length ≈ 0 so the makespan is unaffected.
 	if region.Diam() <= 4*geom.Eps {
-		child := build(m, rest, region, node.Pos)
+		child := b.build(rest, region, node.Pos)
 		if child != nil {
 			node.Children = append(node.Children, child)
 		}
@@ -101,9 +142,12 @@ func build(m geom.Metric, ts []Target, region geom.Rect, from geom.Point) *Node 
 			in2 = append(in2, t)
 		}
 	}
-	c1 := build(m, in1, r1, node.Pos)
-	c2 := build(m, in2, r2, node.Pos)
+	c1 := b.build(in1, r1, node.Pos)
+	c2 := b.build(in2, r2, node.Pos)
 	// Children[0] goes to the woken robot, Children[1] stays with the waker.
+	if b.hetero && c1 != nil && c2 != nil && b.swapHandoff(node, c1, c2) {
+		c1, c2 = c2, c1
+	}
 	if c1 != nil {
 		node.Children = append(node.Children, c1)
 	}
@@ -111,6 +155,37 @@ func build(m geom.Metric, ts []Target, region geom.Rect, from geom.Point) *Node 
 		node.Children = append(node.Children, c2)
 	}
 	return node
+}
+
+// swapHandoff decides whether the Algorithm 1 handoff at node should be
+// flipped so the woken robot takes c2 instead of c1. Two deterministic
+// rules, capacity first:
+//
+//   - a capacity-limited woken robot must not be handed a subtree whose
+//     critical path it cannot afford when the other one is affordable;
+//   - otherwise, a fast woken robot (speed > 1) takes the deeper subtree
+//     and a slow one (speed < 1) the shallower, leaving the other branch to
+//     the waker, whose speed the builder cannot know statically.
+func (b *builder) swapHandoff(node, c1, c2 *Node) bool {
+	if node.Capacity > 0 {
+		cost1 := MakespanIn(b.m, node.Pos, c1)
+		cost2 := MakespanIn(b.m, node.Pos, c2)
+		if cost1 > node.Capacity && cost2 <= node.Capacity {
+			return true
+		}
+		if cost2 > node.Capacity && cost1 <= node.Capacity {
+			return false
+		}
+	}
+	sp := speedOf(node.Speed)
+	d1, d2 := Depth(c1), Depth(c2)
+	if sp > 1 {
+		return d2 > d1
+	}
+	if sp < 1 {
+		return d1 > d2
+	}
+	return false
 }
 
 // Makespan returns the time to wake the whole tree under Euclidean travel.
@@ -137,6 +212,32 @@ func MakespanIn(m geom.Metric, start geom.Point, root *Node) float64 {
 		sub = math.Max(
 			MakespanIn(mm, root.Pos, root.Children[0]),
 			MakespanIn(mm, root.Pos, root.Children[1]),
+		)
+	}
+	return arrive + sub
+}
+
+// MakespanProfiledIn is MakespanIn under per-robot speeds: the waker
+// travels to the root at startSpeed, and the Algorithm 1 split sends the
+// woken robot (root.Speed) down Children[0] while the waker continues at
+// startSpeed down Children[1]. Zero speeds read as 1, so a profile-free
+// tree yields exactly MakespanIn.
+func MakespanProfiledIn(m geom.Metric, start geom.Point, startSpeed float64, root *Node) float64 {
+	if root == nil {
+		return 0
+	}
+	mm := geom.MetricOrL2(m)
+	arrive := mm.Dist(start, root.Pos) / speedOf(startSpeed)
+	var sub float64
+	switch len(root.Children) {
+	case 0:
+	case 1:
+		// The woken robot takes the unique child (see Propagate).
+		sub = MakespanProfiledIn(mm, root.Pos, root.Speed, root.Children[0])
+	default:
+		sub = math.Max(
+			MakespanProfiledIn(mm, root.Pos, root.Speed, root.Children[0]),
+			MakespanProfiledIn(mm, root.Pos, startSpeed, root.Children[1]),
 		)
 	}
 	return arrive + sub
