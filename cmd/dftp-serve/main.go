@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dftp-serve [-addr :8080] [-workers 0] [-queue 64] [-cache-mb 64] [-traces]
+//	           [-log-format text|json] [-log-level info] [-pprof addr]
 //
 // Endpoints:
 //
@@ -14,7 +15,14 @@
 //	GET  /v1/solve/{hash}  cache probe (404 on miss, never computes)
 //	GET  /v1/trace/{hash}  cached event stream as NDJSON
 //	GET  /healthz          liveness
-//	GET  /statsz           cache hit rate, queue depth, solves/races served
+//	GET  /statsz           cache hit rate, queue depth, solves/races served (JSON)
+//	GET  /metricsz         full metric registry, Prometheus text exposition
+//	GET  /buildz           build/version info and process uptime
+//
+// Every solve/portfolio response carries a Server-Timing header with the
+// request's per-stage breakdown; -log-format/-log-level control the
+// structured per-request log on stderr. -pprof starts net/http/pprof on a
+// separate listener (keep it off public interfaces).
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests
 // complete, the queue drains, then the process exits.
@@ -25,7 +33,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,21 +51,52 @@ func main() {
 	}
 }
 
+// newLogger builds the request logger from the -log-format/-log-level
+// flags. Format "none" (or empty) disables request logging entirely — the
+// service's hot path then never touches the logging machinery.
+func newLogger(format, level string) (*slog.Logger, error) {
+	if format == "" || format == "none" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text, json, or none", format)
+	}
+}
+
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "job queue depth (full queue sheds with 429)")
-		cacheMB = flag.Int64("cache-mb", 64, "result cache budget in MiB (approximate retained bytes: responses + traces)")
-		traces  = flag.Bool("traces", true, "retain per-solve event traces for GET /v1/trace/{hash} (disable to cache responses only)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "job queue depth (full queue sheds with 429)")
+		cacheMB   = flag.Int64("cache-mb", 64, "result cache budget in MiB (approximate retained bytes: responses + traces)")
+		traces    = flag.Bool("traces", true, "retain per-solve event traces for GET /v1/trace/{hash} (disable to cache responses only)")
+		logFormat = flag.String("log-format", "text", "structured request log format: text, json, or none")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 
 	svc := service.New(service.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheBytes: *cacheMB << 20,
 		DropTraces: !*traces,
+		Logger:     logger,
 	})
 	defer svc.Close()
 
@@ -70,6 +111,23 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on
+		// http.DefaultServeMux; serving that mux on a separate listener keeps
+		// the profiler off the API address entirely.
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "dftp-serve: pprof:", err)
+			}
+		}()
+		defer pprofSrv.Close()
+		fmt.Printf("dftp-serve: pprof on %s\n", *pprofAddr)
+	}
 	st := svc.Stats()
 	fmt.Printf("dftp-serve: listening on %s (workers=%d queue=%d cache=%dMiB traces=%v)\n",
 		*addr, st.Workers, st.QueueCapacity, st.CacheCapacity>>20, st.TracesRetained)

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency histogram with power-of-two bucket
+// bounds: bucket i has upper bound 2^(minExp+i), plus a final +Inf bucket.
+// The record path is lock-free and allocation-free — one Frexp to index
+// the bucket, two atomic adds, and a CAS loop for the float sum — so it is
+// safe (and cheap) to call from every worker goroutine concurrently.
+//
+// Power-of-two bounds trade resolution for speed: each bucket spans one
+// octave (a 2× range), which is exactly the granularity latency SLOs care
+// about, and makes bucket search a bit inspection instead of a binary
+// search over arbitrary bounds.
+type Histogram struct {
+	minExp int
+	// counts[i] is the number of observations in bucket i (non-cumulative);
+	// the last slot is the +Inf overflow bucket. Exposition accumulates.
+	counts []atomic.Uint64
+	// sumBits holds math.Float64bits of the running sum, advanced by CAS.
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram with bounds 2^minExp, 2^(minExp+1), …,
+// 2^maxExp (inclusive), plus the +Inf bucket. For latencies in seconds,
+// NewHistogram(-20, 5) spans ~1µs to 32s in 26 octave buckets. It panics
+// if maxExp < minExp.
+func NewHistogram(minExp, maxExp int) *Histogram {
+	if maxExp < minExp {
+		panic("obs: histogram needs maxExp ≥ minExp")
+	}
+	return &Histogram{
+		minExp: minExp,
+		counts: make([]atomic.Uint64, maxExp-minExp+2),
+	}
+}
+
+// bucket returns the index of the smallest bound ≥ v (len(counts)-1 = +Inf
+// for values above every bound). Values ≤ 0 land in bucket 0; NaN lands in
+// the +Inf bucket.
+func (h *Histogram) bucket(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	if math.IsNaN(v) || math.IsInf(v, 1) {
+		return len(h.counts) - 1
+	}
+	// v = frac·2^exp with frac ∈ [0.5, 1): v ≤ 2^(exp-1) exactly when
+	// frac == 0.5, otherwise 2^(exp-1) < v < 2^exp.
+	frac, exp := math.Frexp(v)
+	e := exp
+	if frac == 0.5 {
+		e = exp - 1
+	}
+	idx := e - h.minExp
+	if idx < 0 {
+		return 0
+	}
+	if idx >= len(h.counts)-1 {
+		return len(h.counts) - 1
+	}
+	return idx
+}
+
+// Record adds one observation. Lock-free; ~0 allocations.
+func (h *Histogram) Record(v float64) {
+	h.counts[h.bucket(v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time read of a histogram.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds (exclusive of the +Inf bucket).
+	Bounds []float64
+	// Counts are per-bucket observation counts; len(Counts) ==
+	// len(Bounds)+1, the last being the +Inf bucket.
+	Counts []uint64
+	// Count is the total number of observations: exactly the sum of Counts,
+	// so a snapshot is always internally consistent even under concurrent
+	// recording.
+	Count uint64
+	// Sum is the running sum of observed values.
+	Sum float64
+}
+
+// Snapshot reads the histogram. The total count is derived from the bucket
+// counts (not tracked separately), so Count == Σ Counts by construction —
+// concurrent recorders can at worst make the snapshot a few observations
+// stale, never inconsistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	snap := HistSnapshot{
+		Bounds: make([]float64, len(h.counts)-1),
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range snap.Bounds {
+		snap.Bounds[i] = math.Ldexp(1, h.minExp+i)
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		snap.Counts[i] = c
+		snap.Count += c
+	}
+	snap.Sum = math.Float64frombits(h.sumBits.Load())
+	return snap
+}

@@ -1,0 +1,173 @@
+// Package obs is the dependency-free observability core of the serving
+// tier: atomic counters, callback gauges, fixed-bucket latency histograms
+// with power-of-two bounds, and a lightweight Span stopwatch, all owned by
+// a Registry that renders itself in the Prometheus text exposition format.
+//
+// The design constraints come from the service's performance contract:
+//
+//   - The record path is lock-free and allocation-free: counters are a
+//     single atomic add, histogram observations index their bucket with one
+//     Frexp (power-of-two bounds make bucket search O(1) bit inspection,
+//     not a binary search) and touch two atomics plus a CAS loop for the
+//     sum. Instrumentation must cost ≤2% on the cold-solve benchmark, so
+//     nothing on the hot path takes a lock or heap-allocates.
+//   - Registration is init-time and idempotent: asking for the same
+//     (name, labels) series twice returns the same instance, so wiring code
+//     can be written naively; a type conflict panics, because it is always
+//     a programming error.
+//   - Exposition never perturbs recording: WritePrometheus reads atomics
+//     and calls gauge functions without holding any lock that Record or
+//     Add would contend on.
+//
+// Nothing in this package imports anything beyond the standard library's
+// leaf packages, so every layer of the system — sim, portfolio, service —
+// can depend on it without cycles.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension, e.g. {Key: "stage", Value: "sim"}.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// metricType tags a family's exposition TYPE line.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// series is one labeled instance of a family: exactly one of counter,
+// gauge, hist is set, matching the family's type.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   func() float64
+	hist    *Histogram
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	series []*series
+}
+
+// Registry owns a set of metric families and renders them as Prometheus
+// text exposition. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup finds or creates the family and returns the series matching the
+// labels, creating it via mk when absent. It panics on a type conflict —
+// one name cannot be both a counter and a histogram.
+func (r *Registry) lookup(name, help string, typ metricType, labels []Label, mk func() *series) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: %s registered as %s and %s", name, f.typ, typ))
+	}
+	for _, s := range f.series {
+		if labelsEqual(s.labels, labels) {
+			return s
+		}
+	}
+	s := mk()
+	s.labels = append([]Label(nil), labels...)
+	f.series = append(f.series, s)
+	return s
+}
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the counter series (name, labels), registering it on
+// first use. Repeated calls with the same name and labels return the same
+// *Counter, so callers may resolve series eagerly at construction time and
+// hold the pointer on the hot path.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, typeCounter, labels, func() *series {
+		return &series{counter: &Counter{}}
+	})
+	return s.counter
+}
+
+// Gauge registers a callback gauge: fn is called at exposition time. The
+// function must be safe to call from any goroutine. Re-registering the
+// same (name, labels) replaces the callback.
+func (r *Registry) Gauge(name, help string, fn func() float64, labels ...Label) {
+	s := r.lookup(name, help, typeGauge, labels, func() *series { return &series{} })
+	s.gauge = fn
+}
+
+// Histogram returns the histogram series (name, labels) with power-of-two
+// bucket bounds 2^minExp … 2^maxExp (see NewHistogram), registering it on
+// first use. As with Counter, repeated registration returns the same
+// instance; a bound mismatch on an existing series panics.
+func (r *Registry) Histogram(name, help string, minExp, maxExp int, labels ...Label) *Histogram {
+	s := r.lookup(name, help, typeHistogram, labels, func() *series {
+		return &series{hist: NewHistogram(minExp, maxExp)}
+	})
+	if s.hist.minExp != minExp || len(s.hist.counts) != maxExp-minExp+2 {
+		panic(fmt.Sprintf("obs: %s re-registered with different bounds", name))
+	}
+	return s.hist
+}
+
+// snapshotFamilies copies the family list under the lock so exposition can
+// render without blocking registration. Series values are read live (they
+// are atomics / callbacks), which is exactly the Prometheus contract: a
+// scrape is a point-in-time read, not a transaction.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}

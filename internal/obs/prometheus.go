@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with
+// its # HELP and # TYPE comment lines, series in registration order,
+// histograms expanded into cumulative _bucket lines plus _sum and _count.
+// The writer is hand-rolled — no client library — so the output is fully
+// under this package's control and golden-testable byte for byte.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b []byte
+	for _, f := range r.snapshotFamilies() {
+		b = b[:0]
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = appendEscapedHelp(b, f.help)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, string(f.typ)...)
+		b = append(b, '\n')
+		for _, s := range f.series {
+			switch f.typ {
+			case typeCounter:
+				b = appendSample(b, f.name, "", s.labels, nil, float64(s.counter.Load()))
+			case typeGauge:
+				v := 0.0
+				if s.gauge != nil {
+					v = s.gauge()
+				}
+				b = appendSample(b, f.name, "", s.labels, nil, v)
+			case typeHistogram:
+				snap := s.hist.Snapshot()
+				cum := uint64(0)
+				for i, bound := range snap.Bounds {
+					cum += snap.Counts[i]
+					le := Label{Key: "le", Value: formatFloat(bound)}
+					b = appendSample(b, f.name, "_bucket", s.labels, &le, float64(cum))
+				}
+				cum += snap.Counts[len(snap.Counts)-1]
+				inf := Label{Key: "le", Value: "+Inf"}
+				b = appendSample(b, f.name, "_bucket", s.labels, &inf, float64(cum))
+				b = appendSample(b, f.name, "_sum", s.labels, nil, snap.Sum)
+				b = appendSample(b, f.name, "_count", s.labels, nil, float64(snap.Count))
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendSample appends one `name_suffix{labels} value` line. extra, when
+// non-nil, is appended after the series labels (the histogram `le` label).
+func appendSample(b []byte, name, suffix string, labels []Label, extra *Label, v float64) []byte {
+	b = append(b, name...)
+	b = append(b, suffix...)
+	if len(labels) > 0 || extra != nil {
+		b = append(b, '{')
+		for i, l := range labels {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendLabel(b, l)
+		}
+		if extra != nil {
+			if len(labels) > 0 {
+				b = append(b, ',')
+			}
+			b = appendLabel(b, *extra)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = append(b, formatFloat(v)...)
+	return append(b, '\n')
+}
+
+func appendLabel(b []byte, l Label) []byte {
+	b = append(b, l.Key...)
+	b = append(b, `="`...)
+	b = appendEscapedValue(b, l.Value)
+	return append(b, '"')
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// appendEscapedHelp escapes a HELP string: backslash and newline.
+func appendEscapedHelp(b []byte, s string) []byte {
+	if !strings.ContainsAny(s, "\\\n") {
+		return append(b, s...)
+	}
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b = append(b, `\\`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, string(r)...)
+		}
+	}
+	return b
+}
+
+// appendEscapedValue escapes a label value: backslash, double-quote, and
+// newline.
+func appendEscapedValue(b []byte, s string) []byte {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return append(b, s...)
+	}
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b = append(b, `\\`...)
+		case '"':
+			b = append(b, `\"`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, string(r)...)
+		}
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// maxSpanStages bounds a span's stage list so Span can be a fixed-size
+// value type: spans live on the caller's stack and never heap-allocate.
+const maxSpanStages = 8
+
+// Stage is one named interval inside a span.
+type Stage struct {
+	Name string
+	D    time.Duration
+}
+
+// Span is a zero-allocation stopwatch for a request's per-stage breakdown:
+// start one with StartSpan, call Mark at each stage boundary, and read the
+// stages back for histograms, Server-Timing headers, or structured logs.
+// Spans are plain values — copy them, embed them, keep them on the stack.
+// A span must not be shared across goroutines; stages measured elsewhere
+// are merged in with Observe.
+type Span struct {
+	begin  time.Time
+	mark   time.Time
+	n      int
+	stages [maxSpanStages]Stage
+}
+
+// StartSpan begins a span at the current time.
+func StartSpan() Span {
+	now := time.Now()
+	return Span{begin: now, mark: now}
+}
+
+// Mark closes the stage running since the previous mark (or the span
+// start), records it under name, and returns its duration.
+func (s *Span) Mark(name string) time.Duration {
+	now := time.Now()
+	d := now.Sub(s.mark)
+	s.mark = now
+	s.Observe(name, d)
+	return d
+}
+
+// Observe merges an externally measured stage into the span — e.g. a
+// queue wait or simulation time measured by a worker goroutine. Stages
+// beyond the span's fixed capacity are dropped.
+func (s *Span) Observe(name string, d time.Duration) {
+	if s.n < len(s.stages) {
+		s.stages[s.n] = Stage{Name: name, D: d}
+		s.n++
+	}
+}
+
+// Total returns the time elapsed since the span started.
+func (s *Span) Total() time.Duration { return time.Since(s.begin) }
+
+// Stages returns the recorded stages in order. The slice aliases the
+// span's internal array; it is valid as long as the span is.
+func (s *Span) Stages() []Stage { return s.stages[:s.n] }
+
+// AppendServerTiming appends one Server-Timing metric — `name;dur=1.234`,
+// duration in milliseconds per the header's spec — to b, preceded by ", "
+// when b is non-empty. Building the header value with it costs one
+// allocation for the caller's buffer, never per metric.
+func AppendServerTiming(b []byte, name string, d time.Duration) []byte {
+	if len(b) > 0 {
+		b = append(b, ',', ' ')
+	}
+	b = append(b, name...)
+	b = append(b, ";dur="...)
+	return strconv.AppendFloat(b, float64(d)/float64(time.Millisecond), 'f', 3, 64)
+}

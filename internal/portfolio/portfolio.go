@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"freezetag/internal/dftp"
 	"freezetag/internal/geom"
@@ -136,9 +137,10 @@ type Result struct {
 	Aborted int
 }
 
-// Options tune a race. Workers and Trace never change the outcome; Metric
-// changes the problem itself (every racer simulates under it), so it is part
-// of the race's content-addressed identity at the service layer.
+// Options tune a race. Workers, Trace, and Observe never change the
+// outcome; Metric changes the problem itself (every racer simulates under
+// it), so it is part of the race's content-addressed identity at the
+// service layer.
 type Options struct {
 	// Workers bounds the racing pool (default GOMAXPROCS, clamped to the
 	// number of entrants). Any value produces identical results.
@@ -149,6 +151,34 @@ type Options struct {
 	// means ℓ2). Objectives thereby score makespan and energy under the
 	// instance's metric automatically — the sim results are already in it.
 	Metric geom.Metric
+	// Observe, when non-nil, receives one RacerObservation per entrant as
+	// its run finishes. Observations carry wall-clock timings — they are
+	// scheduling-dependent by nature, which is why they flow through this
+	// side channel instead of the deterministic Result: the serving tier
+	// feeds them to latency histograms and logs, never into cacheable
+	// response bodies. Observe may be called from several worker goroutines
+	// concurrently and must be safe for that.
+	Observe func(RacerObservation)
+}
+
+// RacerObservation is one entrant's wall-clock telemetry: how long its
+// simulation actually ran on this host, and — for racers cancelled
+// mid-run — how long cancellation took to bite (the lag between the
+// winning racer firing the cancel and this racer's simulation unwinding).
+// Everything here depends on scheduling; none of it is part of the race's
+// deterministic outcome.
+type RacerObservation struct {
+	Index     int
+	Algorithm string
+	// Wall is the racer's simulation wall time (zero for racers skipped
+	// before starting).
+	Wall time.Duration
+	// CancelLatency is how long after its context was cancelled the racer's
+	// simulation actually returned; zero for racers that were not cancelled
+	// mid-run.
+	CancelLatency time.Duration
+	// Aborted reports the racer was skipped or stopped mid-run.
+	Aborted bool
 }
 
 // racerRun is one racer's raw, possibly scheduling-dependent outcome before
@@ -168,6 +198,10 @@ type control struct {
 	mu      sync.Mutex
 	best    int
 	cancels []context.CancelFunc
+	// cancelledAt records when each racer's cancel first fired (zero until
+	// then); the observability side channel derives cancellation latency
+	// from it. Never consulted by the deterministic outcome.
+	cancelledAt []time.Time
 }
 
 func (c *control) accepted(i int) {
@@ -177,9 +211,20 @@ func (c *control) accepted(i int) {
 		return
 	}
 	c.best = i
+	now := time.Now()
 	for j := i + 1; j < len(c.cancels); j++ {
+		if c.cancelledAt[j].IsZero() {
+			c.cancelledAt[j] = now
+		}
 		c.cancels[j]()
 	}
+}
+
+// cancelTime returns when racer i's cancel fired (zero if it never did).
+func (c *control) cancelTime(i int) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cancelledAt[i]
 }
 
 // doomed reports whether racer i can no longer win (a lower index accepted).
@@ -205,7 +250,7 @@ func Race(p Portfolio, inst *instance.Instance, tup dftp.Tuple, budget float64, 
 	}
 
 	k := len(p.Algorithms)
-	ctl := &control{best: -1, cancels: make([]context.CancelFunc, k)}
+	ctl := &control{best: -1, cancels: make([]context.CancelFunc, k), cancelledAt: make([]time.Time, k)}
 	ctxs := make([]context.Context, k)
 	for i := range ctxs {
 		ctxs[i], ctl.cancels[i] = context.WithCancel(context.Background())
@@ -233,7 +278,7 @@ func Race(p Portfolio, inst *instance.Instance, tup dftp.Tuple, budget float64, 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				runs[i] = runRacer(p, obj, inst, tup, budget, opts.Metric, i, ctxs[i], ctl)
+				runs[i] = runRacer(p, obj, inst, tup, budget, opts.Metric, i, ctxs[i], ctl, opts.Observe)
 			}
 		}()
 	}
@@ -263,15 +308,32 @@ func Race(p Portfolio, inst *instance.Instance, tup dftp.Tuple, budget float64, 
 
 // runRacer executes entrant i unless the race is already decided against it.
 func runRacer(p Portfolio, obj Objective, inst *instance.Instance, tup dftp.Tuple, budget float64,
-	m geom.Metric, i int, ctx context.Context, ctl *control) racerRun {
+	m geom.Metric, i int, ctx context.Context, ctl *control, observe func(RacerObservation)) racerRun {
 	if ctl.doomed(i) {
+		if observe != nil {
+			observe(RacerObservation{Index: i, Algorithm: p.Algorithms[i].Name(), Aborted: true})
+		}
 		return racerRun{aborted: true}
+	}
+	var start time.Time
+	if observe != nil {
+		start = time.Now()
 	}
 	res, rep, err := dftp.SolveIn(ctx, m, p.Algorithms[i], inst, tup, budget, nil)
 	if ctx.Err() != nil {
 		// Aborted mid-run: the result is partial and scheduling-dependent —
 		// discard everything but the fact of the abort.
+		if observe != nil {
+			ob := RacerObservation{Index: i, Algorithm: p.Algorithms[i].Name(), Wall: time.Since(start), Aborted: true}
+			if at := ctl.cancelTime(i); !at.IsZero() {
+				ob.CancelLatency = time.Since(at)
+			}
+			observe(ob)
+		}
 		return racerRun{aborted: true}
+	}
+	if observe != nil {
+		observe(RacerObservation{Index: i, Algorithm: p.Algorithms[i].Name(), Wall: time.Since(start)})
 	}
 	if err != nil {
 		return racerRun{err: err}

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sync"
+	"time"
 
+	"freezetag/internal/obs"
 	"freezetag/internal/trace"
 )
 
@@ -18,7 +21,9 @@ import (
 //	GET  /v1/solve/{hash}     cache probe — never computes; 404 on miss
 //	GET  /v1/trace/{hash}     cached event stream as NDJSON; 404 on miss
 //	GET  /healthz             liveness
-//	GET  /statsz              cache/queue/solve/race counters
+//	GET  /statsz              cache/queue/solve/race counters (JSON view of /metricsz)
+//	GET  /metricsz            full metric registry, Prometheus text exposition
+//	GET  /buildz              build/version info and process uptime
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -28,6 +33,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/trace/{hash}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /buildz", s.handleBuildz)
 	return mux
 }
 
@@ -95,7 +102,9 @@ func (s *Service) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeSolved renders a Solve/SolvePortfolio outcome: the cached-or-cold
-// canonical bytes with the X-Cache verdict, or the mapped error.
+// canonical bytes with the X-Cache verdict and a Server-Timing stage
+// breakdown, or the mapped error. Timing lives only in headers — the body
+// is the canonical cached bytes, identical across hot and cold serves.
 func writeSolved(w http.ResponseWriter, sv Solved, err error) {
 	if err != nil {
 		writeJSONError(w, statusFor(err), err)
@@ -107,7 +116,30 @@ func writeSolved(w http.ResponseWriter, sv Solved, err error) {
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
+	w.Header().Set("Server-Timing", serverTiming(sv))
 	w.Write(sv.Body)
+}
+
+// serverTiming renders a request's Server-Timing header value: the cache
+// verdict as a descriptor, the stages that ran, and the end-to-end total.
+// Hits report resolve+total only (the other stages didn't run); coalesced
+// requests report the in-flight run they joined.
+func serverTiming(sv Solved) string {
+	b := make([]byte, 0, 128)
+	b = append(b, "cache;desc="...)
+	b = append(b, sv.Outcome...)
+	b = obs.AppendServerTiming(b, "resolve", sv.Resolve)
+	if sv.Queue > 0 || sv.Outcome == OutcomeMiss {
+		b = obs.AppendServerTiming(b, "queue", sv.Queue)
+	}
+	if sv.Sim > 0 || sv.Outcome == OutcomeMiss {
+		b = obs.AppendServerTiming(b, "sim", sv.Sim)
+	}
+	if sv.Marshal > 0 || sv.Outcome == OutcomeMiss {
+		b = obs.AppendServerTiming(b, "marshal", sv.Marshal)
+	}
+	b = obs.AppendServerTiming(b, "total", sv.Total)
+	return string(b)
 }
 
 func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -197,6 +229,56 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	body, err := json.Marshal(s.Stats())
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Write(append(body, '\n'))
+}
+
+// handleMetricsz renders the whole metric registry in Prometheus text
+// exposition format 0.0.4. It is the scrape target; /statsz is a JSON
+// convenience view over the same registry.
+func (s *Service) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// BuildInfo is the /buildz payload: enough to identify a running binary
+// from the outside — toolchain, module version, VCS revision and dirtiness
+// — plus how long this process has been up.
+type BuildInfo struct {
+	GoVersion     string  `json:"goVersion"`
+	Module        string  `json:"module,omitempty"`
+	ModuleVersion string  `json:"moduleVersion,omitempty"`
+	Revision      string  `json:"revision,omitempty"`
+	CommitTime    string  `json:"commitTime,omitempty"`
+	Dirty         bool    `json:"dirty"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// handleBuildz reports build/version info from the binary's embedded build
+// metadata. Fields missing from the build (e.g. VCS stamps in `go test`
+// binaries) are omitted rather than faked.
+func (s *Service) handleBuildz(w http.ResponseWriter, r *http.Request) {
+	info := BuildInfo{UptimeSeconds: time.Since(s.start).Seconds()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.GoVersion = bi.GoVersion
+		info.Module = bi.Main.Path
+		info.ModuleVersion = bi.Main.Version
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				info.Revision = kv.Value
+			case "vcs.time":
+				info.CommitTime = kv.Value
+			case "vcs.modified":
+				info.Dirty = kv.Value == "true"
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	body, err := json.Marshal(info)
 	if err != nil {
 		writeJSONError(w, http.StatusInternalServerError, err)
 		return

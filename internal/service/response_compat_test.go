@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -46,7 +47,10 @@ func TestResponseCompatPR5Golden(t *testing.T) {
 	if len(fs) < 4 {
 		t.Fatalf("only %d fixtures — the golden set was truncated", len(fs))
 	}
-	_, srv := newTestServer(t, Config{Workers: 2, DropTraces: true})
+	// Full instrumentation on — request logging included — to pin down that
+	// timing and telemetry live only in headers/logs, never in the bodies.
+	logger := slog.New(slog.NewJSONHandler(io.Discard, nil))
+	_, srv := newTestServer(t, Config{Workers: 2, DropTraces: true, Logger: logger})
 	for _, f := range fs {
 		path, req := "/v1/solve", f.Solve
 		if req == nil {

@@ -19,15 +19,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"freezetag/internal/dftp"
 	"freezetag/internal/geom"
 	"freezetag/internal/instance"
+	"freezetag/internal/obs"
 	"freezetag/internal/portfolio"
 	"freezetag/internal/sim"
 	"freezetag/internal/trace"
@@ -61,6 +63,12 @@ type Config struct {
 	// untraced, cache entries hold only the marshaled response, and
 	// GET /v1/trace/{hash} reports traces disabled.
 	DropTraces bool
+	// Logger, when non-nil, receives one structured record per request
+	// (request hash, outcome, per-stage durations) plus request failures.
+	// Nil disables request logging entirely — the hot path then never
+	// touches the logging machinery, which is what keeps instrumentation
+	// inside the cold-solve benchmark's ≤2%/≤5-alloc overhead budget.
+	Logger *slog.Logger
 	// memoSize bounds the request-shape → hash memo in entries (default
 	// 4096; entries are two short strings).
 	memoSize int
@@ -95,34 +103,65 @@ type Solved struct {
 	// Hit reports whether the solve was served without running a new
 	// simulation (cache hit or coalesced into an in-flight one).
 	Hit bool
+	// Outcome classifies how the request was served: OutcomeHit,
+	// OutcomeCoalesced, or OutcomeMiss.
+	Outcome string
+	// Stage durations of this request's wall-clock life, surfaced in the
+	// Server-Timing response header and the structured request log — never
+	// in Body, which stays byte-identical across hot and cold serves.
+	// Queue/Sim/Marshal are zero for cache hits (those stages didn't run);
+	// for coalesced requests they describe the in-flight run that was
+	// joined. Total covers the whole call including synchronization.
+	Resolve time.Duration
+	Queue   time.Duration
+	Sim     time.Duration
+	Marshal time.Duration
+	Total   time.Duration
 }
 
 // job is one queued unit of work: a simulation or a whole portfolio race,
 // closed over by run. width is the job's effective admission weight: the
 // number of worker slots its simulations can occupy at once (1 for a solve,
 // min(k, Workers) for a k-entrant race, whose internal pool is clamped to
-// Workers).
+// Workers). run receives the call's stage clock so the worker-side stages
+// (simulate, marshal) land next to the queue wait it measures itself.
 type job struct {
-	hash  string
-	width int
-	call  *call
-	run   func() (*entry, error)
+	hash     string
+	width    int
+	enqueued time.Time
+	call     *call
+	run      func(*stageTimes) (*entry, error)
+}
+
+// stageTimes is the worker-side half of a request's stage breakdown: the
+// queue wait plus the run's simulate and marshal times. It lives on the
+// single-flight call, written by the worker strictly before close(done) and
+// read by waiters strictly after <-done, so no lock is needed.
+type stageTimes struct {
+	queue   time.Duration
+	sim     time.Duration
+	marshal time.Duration
 }
 
 // call is a single-flight slot: the first request for a hash creates it,
-// concurrent duplicates wait on done and share the outcome.
+// concurrent duplicates wait on done and share the outcome (including the
+// runner's stage timings — a coalesced request's Server-Timing reports the
+// run it actually waited on).
 type call struct {
 	done chan struct{}
 	ent  *entry
 	err  error
+	stageTimes
 }
 
 // Service is the solver daemon core. Create one with New, serve it over
 // HTTP with Handler, and stop it with Close.
 type Service struct {
-	cfg  Config
-	jobs chan *job
-	wg   sync.WaitGroup
+	cfg   Config
+	log   *slog.Logger
+	start time.Time
+	jobs  chan *job
+	wg    sync.WaitGroup
 
 	mu       sync.Mutex
 	cache    *lru[*entry]
@@ -136,33 +175,244 @@ type Service struct {
 	// oversubscribe the host the way width-blind counting would.
 	queueWeight int
 
-	hits            atomic.Int64
-	coalesced       atomic.Int64
-	misses          atomic.Int64
-	shed            atomic.Int64
-	solves          atomic.Int64
-	races           atomic.Int64
-	racersCancelled atomic.Int64
-	memoHits        atomic.Int64
-	paramsMemoHits  atomic.Int64
+	// reg is the flight recorder: every lifetime counter below lives in it,
+	// so GET /metricsz and /statsz are two views of the same registry and
+	// can never disagree. The pointers are resolved once at construction;
+	// the hot path does a single atomic add per event.
+	reg             *obs.Registry
+	hits            *obs.Counter
+	coalesced       *obs.Counter
+	misses          *obs.Counter
+	shed            *obs.Counter
+	solves          *obs.Counter
+	races           *obs.Counter
+	racersCancelled *obs.Counter
+	memoHits        *obs.Counter
+	paramsMemoHits  *obs.Counter
+	simSteps        *obs.Counter
+	simLooks        *obs.Counter
+	simMoves        *obs.Counter
+	simWakes        *obs.Counter
+
+	// Per-stage latency histograms (seconds, power-of-two buckets ~1µs…32s)
+	// plus end-to-end request histograms per endpoint.
+	stageResolve *obs.Histogram
+	stageQueue   *obs.Histogram
+	stageSim     *obs.Histogram
+	stageMarshal *obs.Histogram
+	durSolve     *obs.Histogram
+	durPortfolio *obs.Histogram
+	racerSim     *obs.Histogram
+	racerCancel  *obs.Histogram
+
+	// reqOutcomes maps {endpoint, outcome} to its dftp_requests_total
+	// series; keys are preregistered so the hot path is one comparable-key
+	// map lookup, no allocation. shapeCounters is the lazily grown
+	// {endpoint, algorithm, metric} family, capped to bound cardinality.
+	reqOutcomes   map[epOutcome]*obs.Counter
+	shapeMu       sync.RWMutex
+	shapeCounters map[shapeLabels]*obs.Counter
 }
+
+// epOutcome keys a dftp_requests_total series.
+type epOutcome struct{ endpoint, outcome string }
+
+// shapeLabels keys a dftp_requests_by_shape_total series.
+type shapeLabels struct{ endpoint, algorithm, metric string }
+
+// Request outcome labels, also used as the X-Cache / Server-Timing cache
+// descriptor and the structured-log outcome field.
+const (
+	OutcomeHit       = "hit"
+	OutcomeCoalesced = "coalesced"
+	OutcomeMiss      = "miss"
+	OutcomeShed      = "shed"
+	OutcomeError     = "error"
+)
+
+// histogram bucket range shared by all latency histograms: 2^-20s (~1µs)
+// to 2^5s (32s) in octave steps.
+const histMinExp, histMaxExp = -20, 5
+
+// maxShapeSeries caps the lazily grown {endpoint, algorithm, metric}
+// counter family. Algorithms are a fixed set but lp:<p> metrics are
+// user-supplied, so without a cap a metric-scanning client could grow the
+// registry without bound; past the cap new shapes collapse into
+// metric="other".
+const maxShapeSeries = 256
 
 // New starts a Service with cfg's worker pool running.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:      cfg,
+		log:      cfg.Logger,
+		start:    time.Now(),
 		jobs:     make(chan *job, cfg.QueueDepth),
 		cache:    newLRU(cfg.CacheBytes),
 		shapes:   newMemoLRU(cfg.memoSize),
 		params:   newParamsLRU(cfg.memoSize),
 		inflight: make(map[string]*call),
 	}
+	s.initObs()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
+}
+
+// initObs builds the service's metric registry: one series per lifetime
+// counter (the /statsz fields), per-stage and per-endpoint latency
+// histograms, racer telemetry, simulator probe totals, and callback gauges
+// over the live cache/queue state.
+func (s *Service) initObs() {
+	r := obs.NewRegistry()
+	s.reg = r
+	s.hits = r.Counter("dftp_cache_hits_total", "Requests served from the result cache.")
+	s.coalesced = r.Counter("dftp_cache_coalesced_total", "Requests that joined an identical in-flight solve.")
+	s.misses = r.Counter("dftp_cache_misses_total", "Requests that initiated a simulation.")
+	s.shed = r.Counter("dftp_shed_total", "Requests rejected with queue-full (HTTP 429).")
+	s.solves = r.Counter("dftp_solves_total", "Simulations actually run.")
+	s.races = r.Counter("dftp_races_total", "Portfolio races actually run.")
+	s.racersCancelled = r.Counter("dftp_racers_cancelled_total", "Losing racers cancelled by early-stop objectives.")
+	s.memoHits = r.Counter("dftp_memo_hits_total", "Hits/coalesces served via the shape→hash memo.")
+	s.paramsMemoHits = r.Counter("dftp_params_memo_hits_total", "Cold solves whose parameter derivation was served by the params memo.")
+	s.simSteps = r.Counter("dftp_sim_steps_total", "Simulator event-loop dispatches across all completed runs.")
+	s.simLooks = r.Counter("dftp_sim_looks_total", "Simulator Look snapshots across all completed runs.")
+	s.simMoves = r.Counter("dftp_sim_moves_total", "Completed robot moves across all completed runs.")
+	s.simWakes = r.Counter("dftp_sim_wakes_total", "Robots awakened across all completed runs.")
+
+	const stageHelp = "Per-stage request latency: resolve (validate + materialize + hash), queue (admission to worker pickup), sim (the simulation or whole race), marshal (response encoding)."
+	s.stageResolve = r.Histogram("dftp_stage_duration_seconds", stageHelp, histMinExp, histMaxExp, obs.L("stage", "resolve"))
+	s.stageQueue = r.Histogram("dftp_stage_duration_seconds", stageHelp, histMinExp, histMaxExp, obs.L("stage", "queue"))
+	s.stageSim = r.Histogram("dftp_stage_duration_seconds", stageHelp, histMinExp, histMaxExp, obs.L("stage", "sim"))
+	s.stageMarshal = r.Histogram("dftp_stage_duration_seconds", stageHelp, histMinExp, histMaxExp, obs.L("stage", "marshal"))
+
+	const durHelp = "End-to-end request latency by endpoint, cache hits included."
+	s.durSolve = r.Histogram("dftp_request_duration_seconds", durHelp, histMinExp, histMaxExp, obs.L("endpoint", "solve"))
+	s.durPortfolio = r.Histogram("dftp_request_duration_seconds", durHelp, histMinExp, histMaxExp, obs.L("endpoint", "portfolio"))
+
+	s.racerSim = r.Histogram("dftp_racer_sim_seconds", "Per-racer simulation wall time inside portfolio races.", histMinExp, histMaxExp)
+	s.racerCancel = r.Histogram("dftp_racer_cancel_latency_seconds", "Lag between a racer's cancellation firing and its simulation unwinding.", histMinExp, histMaxExp)
+
+	s.reqOutcomes = make(map[epOutcome]*obs.Counter)
+	for _, ep := range []string{"solve", "portfolio"} {
+		for _, oc := range []string{OutcomeHit, OutcomeCoalesced, OutcomeMiss, OutcomeShed, OutcomeError} {
+			s.reqOutcomes[epOutcome{ep, oc}] = r.Counter("dftp_requests_total",
+				"Requests by endpoint and outcome.", obs.L("endpoint", ep), obs.L("outcome", oc))
+		}
+	}
+	s.shapeCounters = make(map[shapeLabels]*obs.Counter)
+
+	r.Gauge("dftp_queue_depth", "Jobs queued but not yet picked up by a worker.", func() float64 {
+		return float64(len(s.jobs))
+	})
+	r.Gauge("dftp_queue_weight", "Admitted effective worker slots (width-weighted, queued + running).", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.queueWeight)
+	})
+	r.Gauge("dftp_inflight", "Distinct request hashes currently being solved.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.inflight))
+	})
+	r.Gauge("dftp_cache_entries", "Entries in the result cache.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.cache.len())
+	})
+	r.Gauge("dftp_cache_bytes", "Approximate bytes retained by the result cache.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.cache.total)
+	})
+	r.Gauge("dftp_cache_capacity_bytes", "Result cache byte budget.", func() float64 {
+		return float64(s.cfg.CacheBytes)
+	})
+	r.Gauge("dftp_queue_capacity", "Job queue depth limit.", func() float64 {
+		return float64(s.cfg.QueueDepth)
+	})
+	r.Gauge("dftp_workers", "Solver pool size.", func() float64 {
+		return float64(s.cfg.Workers)
+	})
+	r.Gauge("dftp_uptime_seconds", "Seconds since the service was constructed.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+}
+
+// Registry exposes the service's metric registry: GET /metricsz renders
+// it, and /statsz reads the same counters, so the two views are generated
+// from one source of truth.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// countShape bumps the {endpoint, algorithm, metric} request counter,
+// creating the series on first sight. The fast path is a read-locked
+// lookup with a comparable struct key — no allocation. Past maxShapeSeries
+// distinct shapes, new metrics collapse into metric="other" so hostile or
+// scanning clients cannot grow the registry without bound.
+func (s *Service) countShape(endpoint, algorithm, metric string) {
+	key := shapeLabels{endpoint, algorithm, metric}
+	s.shapeMu.RLock()
+	c := s.shapeCounters[key]
+	s.shapeMu.RUnlock()
+	if c != nil {
+		c.Inc()
+		return
+	}
+	s.shapeMu.Lock()
+	if c = s.shapeCounters[key]; c == nil {
+		if len(s.shapeCounters) >= maxShapeSeries {
+			key = shapeLabels{endpoint, algorithm, "other"}
+			c = s.shapeCounters[key]
+		}
+		if c == nil {
+			c = s.reg.Counter("dftp_requests_by_shape_total",
+				"Requests by endpoint, algorithm, and metric (metric collapses to \"other\" past the cardinality cap).",
+				obs.L("endpoint", key.endpoint), obs.L("algorithm", key.algorithm), obs.L("metric", key.metric))
+			s.shapeCounters[key] = c
+		}
+	}
+	s.shapeMu.Unlock()
+	c.Inc()
+}
+
+// observeRacer is the portfolio race's telemetry sink: per-racer wall time
+// and, for racers stopped mid-run, cancellation latency.
+func (s *Service) observeRacer(ob portfolio.RacerObservation) {
+	if ob.Wall > 0 {
+		s.racerSim.Record(ob.Wall.Seconds())
+	}
+	if ob.CancelLatency > 0 {
+		s.racerCancel.Record(ob.CancelLatency.Seconds())
+	}
+}
+
+// logRequest emits one structured record per request when logging is
+// enabled. Errors log at Warn with the error attached; successes at Info
+// with the full stage breakdown.
+func (s *Service) logRequest(endpoint string, sv Solved, err error) {
+	if s.log == nil {
+		return
+	}
+	if err != nil {
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "request",
+			slog.String("endpoint", endpoint),
+			slog.String("outcome", sv.Outcome),
+			slog.Duration("total", sv.Total),
+			slog.String("error", err.Error()))
+		return
+	}
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+		slog.String("endpoint", endpoint),
+		slog.String("hash", sv.Hash),
+		slog.String("outcome", sv.Outcome),
+		slog.Duration("total", sv.Total),
+		slog.Duration("resolve", sv.Resolve),
+		slog.Duration("queue", sv.Queue),
+		slog.Duration("sim", sv.Sim),
+		slog.Duration("marshal", sv.Marshal))
 }
 
 // Close drains the queue, stops the workers, and fails subsequent Solves
@@ -398,28 +648,33 @@ func (s *Service) resolvePortfolio(pf portfolio.Portfolio, m geom.Metric, req Po
 // ErrBadRequest (invalid request), ErrQueueFull (load shed), ErrClosed, or
 // a simulation failure.
 func (s *Service) Solve(req SolveRequest) (Solved, error) {
+	sp := obs.StartSpan()
 	// Memo fast path: a family request whose shape was seen before finds
 	// its hash — and with luck its cached bytes — without re-generating the
 	// instance and re-hashing its points.
 	alg, err := AlgorithmByName(req.Algorithm)
 	if err != nil {
-		return Solved{}, err
+		return s.finish("solve", s.durSolve, Solved{Resolve: sp.Mark("resolve")}, &sp, err)
 	}
 	m, err := parseMetric(req.Metric)
 	if err != nil {
-		return Solved{}, err
+		return s.finish("solve", s.durSolve, Solved{Resolve: sp.Mark("resolve")}, &sp, err)
 	}
+	s.countShape("solve", alg.Name(), geom.MetricOrL2(m).Name())
 	key, keyed := shapeKey(alg.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
-			return sv, err
+			sv.Resolve = sp.Mark("resolve")
+			return s.finish("solve", s.durSolve, sv, &sp, err)
 		}
 	}
 	r, err := s.resolve(alg, m, req)
+	resolveDur := sp.Mark("resolve")
 	if err != nil {
-		return Solved{}, err
+		return s.finish("solve", s.durSolve, Solved{Resolve: resolveDur}, &sp, err)
 	}
-	run := func() (*entry, error) {
+	run := func(ts *stageTimes) (*entry, error) {
+		rsp := obs.StartSpan()
 		var rec *trace.Recorder
 		var traceFn func(sim.Event)
 		if !s.cfg.DropTraces {
@@ -427,11 +682,16 @@ func (s *Service) Solve(req SolveRequest) (Solved, error) {
 			traceFn = rec.Record
 		}
 		res, rep, err := dftp.SolveIn(context.Background(), r.metric, r.alg, r.inst, r.tup, r.budget, traceFn)
+		ts.sim = rsp.Mark("sim")
+		s.stageSim.Record(ts.sim.Seconds())
 		s.solves.Add(1)
 		if err != nil {
 			return nil, err
 		}
+		s.recordSimProbes(res)
 		body, err := json.Marshal(NewSolveResponse(r.hash, r.alg, r.metric, r.inst, r.tup, r.budget, res, rep))
+		ts.marshal = rsp.Mark("marshal")
+		s.stageMarshal.Record(ts.marshal.Seconds())
 		if err != nil {
 			return nil, err
 		}
@@ -441,7 +701,43 @@ func (s *Service) Solve(req SolveRequest) (Solved, error) {
 		}
 		return ent.sized(), nil
 	}
-	return s.startOrJoin(r.hash, key, 1, run)
+	sv, err := s.startOrJoin(r.hash, key, 1, run)
+	sv.Resolve = resolveDur
+	return s.finish("solve", s.durSolve, sv, &sp, err)
+}
+
+// recordSimProbes folds one completed run's event-loop probe counters into
+// the registry totals.
+func (s *Service) recordSimProbes(res sim.Result) {
+	s.simSteps.Add(res.Steps)
+	s.simLooks.Add(res.Looks)
+	s.simMoves.Add(res.Moves)
+	s.simWakes.Add(int64(res.Awakened))
+}
+
+// finish closes out one request: it records the resolve-stage and
+// endpoint-latency histograms and the outcome counter, emits the
+// structured log record, and stamps the total onto the Solved for the
+// HTTP layer's Server-Timing header. sv.Resolve must already be set by
+// the caller (marked when resolution — validation, memo lookup or full
+// instance materialization — actually finished).
+func (s *Service) finish(endpoint string, dur *obs.Histogram, sv Solved, sp *obs.Span, err error) (Solved, error) {
+	s.stageResolve.Record(sv.Resolve.Seconds())
+	sv.Total = sp.Total()
+	dur.Record(sv.Total.Seconds())
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			sv.Outcome = OutcomeShed
+		default:
+			sv.Outcome = OutcomeError
+		}
+	}
+	if c := s.reqOutcomes[epOutcome{endpoint, sv.Outcome}]; c != nil {
+		c.Inc()
+	}
+	s.logRequest(endpoint, sv, err)
+	return sv, err
 }
 
 // SolvePortfolio serves one portfolio race with the same cache-first /
@@ -450,34 +746,48 @@ func (s *Service) Solve(req SolveRequest) (Solved, error) {
 // bounded by Config.Workers); because race outcomes are deterministic at
 // any worker count, the response is cacheable exactly like a single solve.
 func (s *Service) SolvePortfolio(req PortfolioRequest) (Solved, error) {
+	sp := obs.StartSpan()
 	pf, err := portfolioFor(req)
 	if err != nil {
-		return Solved{}, err
+		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: sp.Mark("resolve")}, &sp, err)
 	}
 	m, err := parseMetric(req.Metric)
 	if err != nil {
-		return Solved{}, err
+		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: sp.Mark("resolve")}, &sp, err)
 	}
+	s.countShape("portfolio", pf.Name(), geom.MetricOrL2(m).Name())
 	key, keyed := shapeKey(pf.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
-			return sv, err
+			sv.Resolve = sp.Mark("resolve")
+			return s.finish("portfolio", s.durPortfolio, sv, &sp, err)
 		}
 	}
 	r, err := s.resolvePortfolio(pf, m, req)
+	resolveDur := sp.Mark("resolve")
 	if err != nil {
-		return Solved{}, err
+		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: resolveDur}, &sp, err)
 	}
-	run := func() (*entry, error) {
+	run := func(ts *stageTimes) (*entry, error) {
+		rsp := obs.StartSpan()
 		res, err := portfolio.Race(r.pf, r.inst, r.tup, r.budget,
-			portfolio.Options{Workers: s.cfg.Workers, Trace: !s.cfg.DropTraces, Metric: r.metric})
+			portfolio.Options{Workers: s.cfg.Workers, Trace: !s.cfg.DropTraces, Metric: r.metric,
+				Observe: s.observeRacer})
+		ts.sim = rsp.Mark("sim")
+		s.stageSim.Record(ts.sim.Seconds())
 		s.races.Add(1)
 		if err != nil {
 			return nil, err
 		}
 		s.solves.Add(int64(len(r.pf.Algorithms) - res.Aborted))
 		s.racersCancelled.Add(int64(res.Cancelled))
+		// Only the winning run's full sim.Result survives the race; losing
+		// runs are summarized into RacerResult scalars, so probe totals
+		// count winner event-loop work only.
+		s.recordSimProbes(res.Res)
 		body, err := json.Marshal(NewPortfolioResponse(r.hash, r.pf, r.metric, r.inst, r.tup, r.budget, res))
+		ts.marshal = rsp.Mark("marshal")
+		s.stageMarshal.Record(ts.marshal.Seconds())
 		if err != nil {
 			return nil, err
 		}
@@ -490,7 +800,9 @@ func (s *Service) SolvePortfolio(req PortfolioRequest) (Solved, error) {
 	if width > s.cfg.Workers {
 		width = s.cfg.Workers
 	}
-	return s.startOrJoin(r.hash, key, width, run)
+	sv, err := s.startOrJoin(r.hash, key, width, run)
+	sv.Resolve = resolveDur
+	return s.finish("portfolio", s.durPortfolio, sv, &sp, err)
 }
 
 // memoLookup serves a request whose shape key is already memoized: a cache
@@ -512,7 +824,7 @@ func (s *Service) memoLookup(key string) (sv Solved, handled bool, err error) {
 		s.mu.Unlock()
 		s.hits.Add(1)
 		s.memoHits.Add(1)
-		return Solved{Hash: hash, Body: e.body, Hit: true}, true, nil
+		return Solved{Hash: hash, Body: e.body, Hit: true, Outcome: OutcomeHit}, true, nil
 	}
 	if c, ok := s.inflight[hash]; ok {
 		s.mu.Unlock()
@@ -522,7 +834,8 @@ func (s *Service) memoLookup(key string) (sv Solved, handled bool, err error) {
 		}
 		s.coalesced.Add(1)
 		s.memoHits.Add(1)
-		return Solved{Hash: hash, Body: c.ent.body, Hit: true}, true, nil
+		return Solved{Hash: hash, Body: c.ent.body, Hit: true, Outcome: OutcomeCoalesced,
+			Queue: c.queue, Sim: c.sim, Marshal: c.marshal}, true, nil
 	}
 	s.mu.Unlock()
 	return Solved{}, false, nil
@@ -538,7 +851,7 @@ func (s *Service) memoLookup(key string) (sv Solved, handled bool, err error) {
 // capped at QueueDepth+Workers (exactly the old queued+running limit when
 // every job has width 1), so k-entrant races reserve k effective slots and
 // shed under load like k solves would.
-func (s *Service) startOrJoin(hash, memoKey string, width int, run func() (*entry, error)) (Solved, error) {
+func (s *Service) startOrJoin(hash, memoKey string, width int, run func(*stageTimes) (*entry, error)) (Solved, error) {
 	if width < 1 {
 		width = 1
 	}
@@ -553,7 +866,7 @@ func (s *Service) startOrJoin(hash, memoKey string, width int, run func() (*entr
 	if e, ok := s.cache.get(hash); ok {
 		s.mu.Unlock()
 		s.hits.Add(1)
-		return Solved{Hash: hash, Body: e.body, Hit: true}, nil
+		return Solved{Hash: hash, Body: e.body, Hit: true, Outcome: OutcomeHit}, nil
 	}
 	if c, ok := s.inflight[hash]; ok {
 		s.mu.Unlock()
@@ -564,7 +877,8 @@ func (s *Service) startOrJoin(hash, memoKey string, width int, run func() (*entr
 		// Count only successful coalesces, so hitRate never credits
 		// requests that were actually served an error.
 		s.coalesced.Add(1)
-		return Solved{Hash: hash, Body: c.ent.body, Hit: true}, nil
+		return Solved{Hash: hash, Body: c.ent.body, Hit: true, Outcome: OutcomeCoalesced,
+			Queue: c.queue, Sim: c.sim, Marshal: c.marshal}, nil
 	}
 	if s.queueWeight+width > s.cfg.QueueDepth+s.cfg.Workers {
 		s.mu.Unlock()
@@ -573,7 +887,7 @@ func (s *Service) startOrJoin(hash, memoKey string, width int, run func() (*entr
 	}
 	c := &call{done: make(chan struct{})}
 	s.inflight[hash] = c
-	j := &job{hash: hash, width: width, call: c, run: run}
+	j := &job{hash: hash, width: width, enqueued: time.Now(), call: c, run: run}
 	select {
 	case s.jobs <- j:
 		s.queueWeight += width
@@ -590,7 +904,8 @@ func (s *Service) startOrJoin(hash, memoKey string, width int, run func() (*entr
 	if c.err != nil {
 		return Solved{}, c.err
 	}
-	return Solved{Hash: hash, Body: c.ent.body, Hit: false}, nil
+	return Solved{Hash: hash, Body: c.ent.body, Hit: false, Outcome: OutcomeMiss,
+		Queue: c.queue, Sim: c.sim, Marshal: c.marshal}, nil
 }
 
 // worker runs queued jobs, stores the marshaled response in the cache, and
@@ -601,7 +916,9 @@ func (s *Service) worker() {
 		if s.cfg.preSolve != nil {
 			s.cfg.preSolve()
 		}
-		ent, err := j.run()
+		j.call.queue = time.Since(j.enqueued)
+		s.stageQueue.Record(j.call.queue.Seconds())
+		ent, err := j.run(&j.call.stageTimes)
 		s.mu.Lock()
 		if ent != nil {
 			s.cache.add(ent.hash, ent)
@@ -668,8 +985,17 @@ func (s *Service) Stats() Stats {
 		TracesRetained:  !s.cfg.DropTraces,
 		Workers:         s.cfg.Workers,
 	}
-	if lookups := st.Hits + st.Coalesced + st.Misses; lookups > 0 {
+	// Derived ratios: zero-denominator cases are exactly 0, never NaN —
+	// json.Marshal rejects NaN, so a fresh server's /statsz must not divide.
+	lookups := st.Hits + st.Coalesced + st.Misses
+	if lookups > 0 {
 		st.HitRate = float64(st.Hits+st.Coalesced) / float64(lookups)
+	}
+	if served := st.Hits + st.Coalesced; served > 0 {
+		st.MemoHitRate = float64(st.MemoHits) / float64(served)
+	}
+	if seen := lookups + st.Shed; seen > 0 {
+		st.ShedRate = float64(st.Shed) / float64(seen)
 	}
 	return st
 }

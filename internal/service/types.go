@@ -217,7 +217,12 @@ type Stats struct {
 	RacersCancelled int64   `json:"racersCancelled"` // losing racers cancelled by early-stop objectives
 	MemoHits        int64   `json:"memoHits"`        // hits/coalesces served via the shape→hash memo (no instance re-generation)
 	ParamsMemoHits  int64   `json:"paramsMemoHits"`  // cold solves whose (ℓ*, ρ*) derivation was served by the params memo
-	HitRate         float64 `json:"hitRate"`         // (hits+coalesced) / (hits+coalesced+misses)
+	// Derived ratios. All are defined as exactly 0 when their denominator
+	// is zero (a fresh server), never NaN: encoding/json refuses NaN, so an
+	// unguarded division would turn GET /statsz into a 500 at zero traffic.
+	HitRate     float64 `json:"hitRate"`     // (hits+coalesced) / (hits+coalesced+misses)
+	MemoHitRate float64 `json:"memoHitRate"` // memoHits / (hits+coalesced) — cache serves that skipped instance materialization
+	ShedRate    float64 `json:"shedRate"`    // shed / (hits+coalesced+misses+shed)
 	QueueDepth      int     `json:"queueDepth"`
 	QueueCapacity   int     `json:"queueCapacity"`
 	QueueWeight     int     `json:"queueWeight"`    // admitted effective slots (width-weighted, queued + running)

@@ -82,6 +82,15 @@ type Engine struct {
 
 	trace func(Event)
 
+	// Event-loop probe counters: plain (non-atomic) int64s incremented on
+	// the single-threaded event loop, so counting is free of contention and
+	// the totals are as deterministic as the schedule itself. They surface
+	// in Result for the serving tier's metrics; they are never serialized
+	// into response bodies.
+	steps int64 // event dispatches (one scheduled process resume each)
+	looks int64 // Look snapshots taken
+	moves int64 // completed robot moves (team members count individually)
+
 	asleepCount int
 	lastWake    float64
 	violations  []string
@@ -316,6 +325,16 @@ type Result struct {
 	EnergyByRobot []float64
 	// Violations lists budget violations (robot halted mid-algorithm).
 	Violations []string
+	// Steps, Looks, and Moves are the engine's event-loop probe counters:
+	// event dispatches, Look snapshots, and completed robot moves. They are
+	// deterministic (the event loop is single-threaded and schedule-
+	// independent) and exist for observability — the serving tier feeds
+	// them into its metrics registry. They MUST NOT be serialized into
+	// cacheable response bodies: the wire format is byte-locked by golden
+	// fixtures that predate them.
+	Steps int64
+	Looks int64
+	Moves int64
 }
 
 // ErrDeadlock is returned by Run when processes remain parked on a barrier
@@ -358,6 +377,7 @@ func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 			}
 		}
 		it := e.pq.pop()
+		e.steps++
 		if it.t < e.now-geom.Eps {
 			return Result{}, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, it.t)
 		}
@@ -413,6 +433,9 @@ func (e *Engine) result() Result {
 		Awakened:      len(e.robots) - 1 - e.asleepCount,
 		EnergyByRobot: make([]float64, len(e.robots)),
 		Violations:    append([]string(nil), e.violations...),
+		Steps:         e.steps,
+		Looks:         e.looks,
+		Moves:         e.moves,
 	}
 	if !res.AllAwake {
 		res.Makespan = e.now
@@ -464,6 +487,7 @@ func (e *Engine) wake(id int) {
 
 // moveRobot finalizes a completed move: position, energy, index.
 func (e *Engine) moveRobot(r *Robot, dst geom.Point, dist float64) {
+	e.moves++
 	r.pos = dst
 	r.energy += dist
 	e.awake.Insert(r.id, dst)

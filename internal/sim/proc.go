@@ -159,6 +159,7 @@ type Sighting struct {
 // consumed before the next query runs); the returned Snapshot owns its
 // slices, sized exactly, so callers may retain it.
 func (p *Proc) Look() Snapshot {
+	p.eng.looks++
 	var snap Snapshot
 	if ids := p.eng.sleepingWithin(p.r.pos, 1); len(ids) > 0 {
 		snap.Asleep = make([]Sighting, 0, len(ids))
