@@ -6,6 +6,7 @@
 //
 //	dftp-serve [-addr :8080] [-workers 0] [-queue 64] [-cache-mb 64] [-traces]
 //	           [-log-format text|json] [-log-level info] [-pprof addr]
+//	           [-trace-buffer 256] [-trace-sample 0.01] [-trace-slow 250ms]
 //
 // Endpoints:
 //
@@ -18,11 +19,19 @@
 //	GET  /statsz           cache hit rate, queue depth, solves/races served (JSON)
 //	GET  /metricsz         full metric registry, Prometheus text exposition
 //	GET  /buildz           build/version info and process uptime
+//	GET  /tracez           flight recorder: recent kept request traces
+//	GET  /tracez/{id}      one trace; ?format=trace-event for Perfetto
 //
 // Every solve/portfolio response carries a Server-Timing header with the
-// request's per-stage breakdown; -log-format/-log-level control the
-// structured per-request log on stderr. -pprof starts net/http/pprof on a
-// separate listener (keep it off public interfaces).
+// request's per-stage breakdown and trace ID; -log-format/-log-level
+// control the structured per-request log on stderr. -pprof starts
+// net/http/pprof on a separate listener (keep it off public interfaces).
+//
+// Request tracing keeps slow (≥ -trace-slow), errored, and shed requests
+// always, plus a -trace-sample fraction of the rest, in a -trace-buffer
+// ring served by /tracez. Set -trace-buffer 0 to disable tracing,
+// -trace-sample 0 to keep only the always-keep classes, -trace-slow 0 to
+// drop the slow policy.
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests
 // complete, the queue drains, then the process exits.
@@ -83,8 +92,27 @@ func run() error {
 		logFormat = flag.String("log-format", "text", "structured request log format: text, json, or none")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
+
+		traceBuffer = flag.Int("trace-buffer", 256, "completed-trace ring capacity for GET /tracez (0 = disable request tracing)")
+		traceSample = flag.Float64("trace-sample", 0.01, "probability of keeping a fast successful request's trace (slow/errored/shed always keep)")
+		traceSlow   = flag.Duration("trace-slow", 250*time.Millisecond, "always keep traces of requests at least this slow (0 = no slow policy)")
 	)
 	flag.Parse()
+
+	// The service treats 0 as "use default" and negative as "disabled";
+	// for flags the natural spelling of disabled is 0, so map it.
+	cfgBuffer := *traceBuffer
+	if cfgBuffer == 0 {
+		cfgBuffer = -1
+	}
+	cfgSample := *traceSample
+	if cfgSample == 0 {
+		cfgSample = -1
+	}
+	cfgSlow := *traceSlow
+	if cfgSlow == 0 {
+		cfgSlow = -1
+	}
 
 	logger, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
@@ -92,11 +120,14 @@ func run() error {
 	}
 
 	svc := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheBytes: *cacheMB << 20,
-		DropTraces: !*traces,
-		Logger:     logger,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		CacheBytes:  *cacheMB << 20,
+		DropTraces:  !*traces,
+		Logger:      logger,
+		TraceBuffer: cfgBuffer,
+		TraceSample: cfgSample,
+		TraceSlow:   cfgSlow,
 	})
 	defer svc.Close()
 

@@ -92,6 +92,47 @@ type HistSnapshot struct {
 	Sum float64
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values by
+// linear interpolation inside the bucket holding the target rank — the
+// standard Prometheus histogram_quantile estimate, here over the
+// power-of-two bounds. The first bucket interpolates from 0; ranks landing
+// in the +Inf bucket return the largest finite bound (the estimate is
+// clamped, not extrapolated). An empty snapshot returns 0.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		// Ranks below the first observation clamp to it; without this,
+		// q=0 would interpolate below the first bucket's lower bound.
+		rank = 1
+	}
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Snapshot reads the histogram. The total count is derived from the bucket
 // counts (not tracked separately), so Count == Σ Counts by construction —
 // concurrent recorders can at worst make the snapshot a few observations

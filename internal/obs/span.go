@@ -57,6 +57,10 @@ func (s *Span) Observe(name string, d time.Duration) {
 // Total returns the time elapsed since the span started.
 func (s *Span) Total() time.Duration { return time.Since(s.begin) }
 
+// Begin returns the span's start time — the anchor a trace's relative
+// offsets are measured from.
+func (s *Span) Begin() time.Time { return s.begin }
+
 // Stages returns the recorded stages in order. The slice aliases the
 // span's internal array; it is valid as long as the span is.
 func (s *Span) Stages() []Stage { return s.stages[:s.n] }

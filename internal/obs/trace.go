@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Trace is one completed request's timeline: the per-stage spans the
+// request actually ran, instant events (cache verdicts, single-flight
+// joins, sheds), and the policy verdicts that kept it in the flight
+// recorder. Traces are built once, after the request finishes, and are
+// immutable from then on — the store hands out shared pointers.
+type Trace struct {
+	// ID is the request's trace ID: an inbound W3C trace-id or client
+	// request ID when one was supplied, a minted 16-byte lower-hex ID
+	// otherwise. The same ID appears in the response's Server-Timing
+	// header and the structured request log, so the three views join.
+	ID string
+	// Name is the endpoint that served the request ("solve", "portfolio").
+	Name string
+	// Outcome is the request outcome label (hit|coalesced|miss|shed|error).
+	Outcome string
+	// Error is the failure message for errored requests.
+	Error string
+	// Start is the request's wall-clock arrival; span and event offsets
+	// are relative to it.
+	Start time.Time
+	// Total is the request's end-to-end duration.
+	Total time.Duration
+	// Slow and Sampled record why the trace was kept: Slow means the
+	// always-keep-slow policy fired (Total ≥ the slow threshold; errored
+	// and shed requests are always kept regardless), Sampled means the
+	// probabilistic sampler selected the request at ingress.
+	Slow    bool
+	Sampled bool
+	// Spans are the stage and child spans in recorded order.
+	Spans []TraceSpan
+	// Events are instant markers (cache-hit, single-flight-join, shed, …).
+	Events []TraceEvent
+}
+
+// TraceSpan is one timed interval inside a trace.
+type TraceSpan struct {
+	// Name is the span label: a request stage (resolve, queue, sim,
+	// marshal) or a child span like "racer:AGrid".
+	Name string
+	// Track separates parallel timelines: 0 is the request's own stage
+	// track; racers get tracks 1..k so viewers render them side by side.
+	Track int
+	// Start is the span's offset from the trace start.
+	Start time.Duration
+	// D is the span's duration.
+	D time.Duration
+}
+
+// TraceEvent is one instant marker inside a trace.
+type TraceEvent struct {
+	Name string
+	// At is the event's offset from the trace start.
+	At time.Duration
+}
+
+// NewTraceID mints a 16-byte random trace ID in lower-hex — the W3C
+// trace-context trace-id format.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID is
+		// invalid per W3C, so fall back to a fixed non-zero marker rather
+		// than panicking on an exotic one.
+		b[0] = 1
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ParseTraceparent extracts the trace-id and sampled flag from a W3C
+// traceparent header value: "00-<32 hex trace-id>-<16 hex parent-id>-<2
+// hex flags>". ok is false for malformed values and for the all-zero
+// trace-id, which the spec declares invalid.
+func ParseTraceparent(h string) (id string, sampled, ok bool) {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", false, false
+	}
+	if !isLowerHex(h[:2]) || !isLowerHex(h[3:35]) || !isLowerHex(h[36:52]) || !isLowerHex(h[53:]) {
+		return "", false, false
+	}
+	id = h[3:35]
+	zero := true
+	for i := 0; i < len(id); i++ {
+		if id[i] != '0' {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return "", false, false
+	}
+	// flags bit 0 is "sampled"; the low nibble is the second hex digit.
+	return id, hexVal(h[54])&1 == 1, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func hexVal(c byte) int {
+	if c >= 'a' {
+		return int(c-'a') + 10
+	}
+	return int(c - '0')
+}
+
+// TraceStore is a fixed-capacity ring buffer of completed traces — the
+// request-level flight recorder. Adds overwrite the oldest entry once the
+// ring is full; readers get point-in-time snapshots.
+//
+// The store is lock-cheap by policy rather than by lock-free machinery:
+// only *kept* traces ever reach Add (slow, errored, shed, or sampled
+// requests — a small fraction of traffic by construction), so a plain
+// mutex around an index increment and a slot write never contends with
+// the request hot path, which does not touch the store at all.
+type TraceStore struct {
+	mu    sync.Mutex
+	buf   []*Trace
+	next  int   // slot the next Add writes
+	total int64 // lifetime adds; total - len = evicted
+}
+
+// NewTraceStore returns a ring holding the last capacity traces.
+// It panics if capacity < 1.
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity < 1 {
+		panic("obs: trace store needs capacity ≥ 1")
+	}
+	return &TraceStore{buf: make([]*Trace, 0, capacity)}
+}
+
+// Capacity returns the ring size.
+func (ts *TraceStore) Capacity() int { return cap(ts.buf) }
+
+// Add records a completed trace, evicting the oldest once full. The trace
+// must not be mutated after Add.
+func (ts *TraceStore) Add(t *Trace) {
+	ts.mu.Lock()
+	if len(ts.buf) < cap(ts.buf) {
+		ts.buf = append(ts.buf, t)
+	} else {
+		ts.buf[ts.next] = t
+	}
+	ts.next++
+	if ts.next == cap(ts.buf) {
+		ts.next = 0
+	}
+	ts.total++
+	ts.mu.Unlock()
+}
+
+// Len returns the number of traces currently held.
+func (ts *TraceStore) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.buf)
+}
+
+// Total returns the lifetime number of adds; Total() - Len() traces have
+// been evicted.
+func (ts *TraceStore) Total() int64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.total
+}
+
+// Get returns the most recently added trace with the given ID. The ring
+// is small by construction, so the scan is O(capacity).
+func (ts *TraceStore) Get(id string) (*Trace, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	// Walk newest → oldest so duplicate IDs resolve to the latest trace.
+	for i := 1; i <= len(ts.buf); i++ {
+		slot := ts.next - i
+		if slot < 0 {
+			slot += len(ts.buf)
+		}
+		if ts.buf[slot].ID == id {
+			return ts.buf[slot], true
+		}
+	}
+	return nil, false
+}
+
+// Snapshot returns up to n traces, newest first (all of them when n ≤ 0
+// or exceeds the held count). The returned slice is fresh; the traces it
+// points to are immutable.
+func (ts *TraceStore) Snapshot(n int) []*Trace {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if n <= 0 || n > len(ts.buf) {
+		n = len(ts.buf)
+	}
+	out := make([]*Trace, n)
+	for i := 0; i < n; i++ {
+		slot := ts.next - 1 - i
+		if slot < 0 {
+			slot += len(ts.buf)
+		}
+		out[i] = ts.buf[slot]
+	}
+	return out
+}

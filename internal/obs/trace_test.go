@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceStoreEvictionOrder: the ring keeps exactly the last capacity
+// traces, Snapshot returns them newest first, and Total counts evictions.
+func TestTraceStoreEvictionOrder(t *testing.T) {
+	ts := NewTraceStore(4)
+	for i := 0; i < 10; i++ {
+		ts.Add(&Trace{ID: strconv.Itoa(i)})
+	}
+	if ts.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ts.Len())
+	}
+	if ts.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", ts.Total())
+	}
+	got := ts.Snapshot(0)
+	want := []string{"9", "8", "7", "6"}
+	if len(got) != len(want) {
+		t.Fatalf("Snapshot returned %d traces, want %d", len(got), len(want))
+	}
+	for i, tr := range got {
+		if tr.ID != want[i] {
+			t.Errorf("Snapshot[%d].ID = %q, want %q", i, tr.ID, want[i])
+		}
+	}
+	// Evicted traces are gone; survivors are found.
+	if _, ok := ts.Get("5"); ok {
+		t.Error("evicted trace 5 still found")
+	}
+	if tr, ok := ts.Get("7"); !ok || tr.ID != "7" {
+		t.Errorf("Get(7) = %v, %v; want trace 7", tr, ok)
+	}
+	// A limited snapshot returns the newest n.
+	if got := ts.Snapshot(2); len(got) != 2 || got[0].ID != "9" || got[1].ID != "8" {
+		t.Errorf("Snapshot(2) = %v, want [9 8]", []string{got[0].ID, got[1].ID})
+	}
+}
+
+// TestTraceStorePartiallyFull: snapshots and lookups work before the ring
+// wraps.
+func TestTraceStorePartiallyFull(t *testing.T) {
+	ts := NewTraceStore(8)
+	ts.Add(&Trace{ID: "a"})
+	ts.Add(&Trace{ID: "b"})
+	if ts.Len() != 2 || ts.Total() != 2 {
+		t.Fatalf("Len/Total = %d/%d, want 2/2", ts.Len(), ts.Total())
+	}
+	got := ts.Snapshot(0)
+	if len(got) != 2 || got[0].ID != "b" || got[1].ID != "a" {
+		t.Fatalf("Snapshot = %v, want [b a]", got)
+	}
+	if _, ok := ts.Get("a"); !ok {
+		t.Error("Get(a) missed")
+	}
+	if _, ok := ts.Get("zzz"); ok {
+		t.Error("Get(zzz) hit")
+	}
+}
+
+// TestTraceStoreDuplicateIDs: Get resolves a duplicated ID to the most
+// recently added trace.
+func TestTraceStoreDuplicateIDs(t *testing.T) {
+	ts := NewTraceStore(4)
+	ts.Add(&Trace{ID: "dup", Name: "first"})
+	ts.Add(&Trace{ID: "dup", Name: "second"})
+	tr, ok := ts.Get("dup")
+	if !ok || tr.Name != "second" {
+		t.Fatalf("Get(dup) = %+v, want the second trace", tr)
+	}
+}
+
+// TestTraceStoreConcurrent hammers the store from many writers and readers
+// at once; run under -race this is the store's data-race proof.
+func TestTraceStoreConcurrent(t *testing.T) {
+	ts := NewTraceStore(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ts.Add(&Trace{ID: fmt.Sprintf("w%d-%d", w, i)})
+				if i%17 == 0 {
+					ts.Snapshot(4)
+					ts.Get(fmt.Sprintf("w%d-%d", w, i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ts.Total() != 8*200 {
+		t.Fatalf("Total = %d, want %d", ts.Total(), 8*200)
+	}
+	if ts.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", ts.Len())
+	}
+}
+
+// TestParseTraceparent covers the accept and reject paths of the W3C
+// header grammar.
+func TestParseTraceparent(t *testing.T) {
+	id, sampled, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok || id != "4bf92f3577b34da6a3ce929d0e0e4736" || !sampled {
+		t.Fatalf("valid sampled traceparent: id=%q sampled=%v ok=%v", id, sampled, ok)
+	}
+	if _, sampled, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"); !ok || sampled {
+		t.Errorf("unsampled flag parsed as sampled=%v ok=%v", sampled, ok)
+	}
+	for _, bad := range []string{
+		"",
+		"00-short-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace-id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g", // bad hex
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+// TestNewTraceID: minted IDs are 32 lower-hex chars and unique enough to
+// never collide in a small sample.
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 32 || !isLowerHex(id) {
+			t.Fatalf("NewTraceID() = %q, want 32 lower-hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// goldenTrace is the fixed trace the writer goldens render: every feature
+// in one — stages, a parallel racer track, instant events, an error,
+// sub-microsecond offsets.
+func goldenTrace() *Trace {
+	return &Trace{
+		ID:      "4bf92f3577b34da6a3ce929d0e0e4736",
+		Name:    "portfolio",
+		Outcome: "miss",
+		Start:   time.Unix(1700000000, 0).UTC(),
+		Total:   1503500 * time.Nanosecond,
+		Slow:    true,
+		Sampled: false,
+		Spans: []TraceSpan{
+			{Name: "resolve", Track: 0, Start: 0, D: 120 * time.Microsecond},
+			{Name: "queue", Track: 0, Start: 120 * time.Microsecond, D: 4250 * time.Nanosecond},
+			{Name: "sim", Track: 0, Start: 124250 * time.Nanosecond, D: 1200 * time.Microsecond},
+			{Name: "marshal", Track: 0, Start: 1324250 * time.Nanosecond, D: 80 * time.Microsecond},
+			{Name: "racer:AGrid", Track: 1, Start: 130 * time.Microsecond, D: 900 * time.Microsecond},
+			{Name: "racer:AWave", Track: 2, Start: 131 * time.Microsecond, D: 1190 * time.Microsecond},
+		},
+		Events: []TraceEvent{
+			{Name: "cache-miss", At: 120 * time.Microsecond},
+			{Name: "racer-cancelled", At: 1100 * time.Microsecond},
+		},
+	}
+}
+
+// TestWriteTraceEventGolden locks the Chrome trace_event rendering byte
+// for byte. Update the want string deliberately when the format changes.
+func TestWriteTraceEventGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvent(&buf, goldenTrace()); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"displayTimeUnit":"ms","traceEvents":[` +
+		`{"ph":"M","pid":1,"tid":1,"name":"process_name","args":{"name":"dftp-serve"}},` +
+		`{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"request"}},` +
+		`{"ph":"M","pid":1,"tid":2,"name":"thread_name","args":{"name":"racer 1"}},` +
+		`{"ph":"M","pid":1,"tid":3,"name":"thread_name","args":{"name":"racer 2"}},` +
+		`{"ph":"X","pid":1,"tid":1,"ts":0,"dur":1503.500,"name":"portfolio","cat":"request","args":{"traceId":"4bf92f3577b34da6a3ce929d0e0e4736","outcome":"miss","slow":true,"sampled":false}},` +
+		`{"ph":"X","pid":1,"tid":1,"ts":0,"dur":120,"name":"resolve","cat":"stage"},` +
+		`{"ph":"X","pid":1,"tid":1,"ts":120,"dur":4.250,"name":"queue","cat":"stage"},` +
+		`{"ph":"X","pid":1,"tid":1,"ts":124.250,"dur":1200,"name":"sim","cat":"stage"},` +
+		`{"ph":"X","pid":1,"tid":1,"ts":1324.250,"dur":80,"name":"marshal","cat":"stage"},` +
+		`{"ph":"X","pid":1,"tid":2,"ts":130,"dur":900,"name":"racer:AGrid","cat":"racer"},` +
+		`{"ph":"X","pid":1,"tid":3,"ts":131,"dur":1190,"name":"racer:AWave","cat":"racer"},` +
+		`{"ph":"i","pid":1,"tid":1,"ts":120,"s":"t","name":"cache-miss","cat":"event"},` +
+		`{"ph":"i","pid":1,"tid":1,"ts":1100,"s":"t","name":"racer-cancelled","cat":"event"}` +
+		"]}\n"
+	if buf.String() != want {
+		t.Fatalf("trace-event bytes drifted:\ngot:  %s\nwant: %s", buf.String(), want)
+	}
+}
+
+// TestWriteTraceEventValidJSON: the hand-rolled writer must emit parseable
+// JSON with the trace_event envelope, including for traces with characters
+// that need escaping.
+func TestWriteTraceEventValidJSON(t *testing.T) {
+	tr := goldenTrace()
+	tr.Error = `sim "exploded"` + "\n\\boom\x01"
+	tr.ID = `id"with\quotes`
+	var buf bytes.Buffer
+	if err := WriteTraceEvent(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string          `json:"ph"`
+			Name string          `json:"name"`
+			Ts   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("writer emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// 4 metadata + 1 root + 6 spans + 2 instants.
+	if len(doc.TraceEvents) != 13 {
+		t.Fatalf("got %d events, want 13", len(doc.TraceEvents))
+	}
+	var root struct {
+		TraceID string `json:"traceId"`
+		Error   string `json:"error"`
+	}
+	if err := json.Unmarshal(doc.TraceEvents[4].Args, &root); err != nil {
+		t.Fatal(err)
+	}
+	if root.TraceID != tr.ID || root.Error != tr.Error {
+		t.Errorf("escaped args round-trip: got %+v", root)
+	}
+}
+
+// TestHistogramQuantile: quantile estimates interpolate within the right
+// octave bucket and clamp sanely at the edges.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(-3, 3) // bounds 0.125 … 8
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	// 100 observations in (1, 2]: every quantile lands inside that bucket.
+	for i := 0; i < 100; i++ {
+		h.Record(1.5)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := s.Quantile(q)
+		if got <= 1 || got > 2 {
+			t.Errorf("Quantile(%v) = %v, want in (1, 2]", q, got)
+		}
+	}
+	if p50, p99 := s.Quantile(0.5), s.Quantile(0.99); p50 >= p99 {
+		t.Errorf("p50 %v ≥ p99 %v within one bucket", p50, p99)
+	}
+	// An observation beyond every bound lands in +Inf; the top quantile
+	// clamps to the largest finite bound instead of inventing a value.
+	h.Record(1e9)
+	if got := h.Snapshot().Quantile(1); got != 8 {
+		t.Errorf("overflow Quantile(1) = %v, want clamp to 8", got)
+	}
+}

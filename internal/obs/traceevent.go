@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteTraceEvent renders one trace in the Chrome trace_event JSON Array
+// Format — the schema Perfetto, chrome://tracing, and speedscope all load.
+// The writer is hand-rolled, like the Prometheus one, so the bytes are
+// fully under this package's control and golden-testable.
+//
+// Layout: one "X" (complete) event per span — the request root on tid 1,
+// stage spans on tid 1, child tracks (racers) on tid 1+Track — one "i"
+// (instant) event per trace event, plus process/thread metadata so viewers
+// label the tracks. Timestamps are microseconds relative to the trace
+// start, with nanosecond precision kept as three decimal places.
+func WriteTraceEvent(w io.Writer, t *Trace) error {
+	b := make([]byte, 0, 1024)
+	b = append(b, `{"displayTimeUnit":"ms","traceEvents":[`...)
+	b = appendMeta(b, 1, "process_name", "dftp-serve", true)
+	b = appendMeta(b, 1, "thread_name", "request", false)
+	tracks := 0
+	for _, sp := range t.Spans {
+		if sp.Track > tracks {
+			tracks = sp.Track
+		}
+	}
+	for tr := 1; tr <= tracks; tr++ {
+		b = appendMeta(b, 1+tr, "thread_name", "racer "+strconv.Itoa(tr), false)
+	}
+	// Root span: the whole request, annotated with identity and outcome.
+	b = append(b, `,{"ph":"X","pid":1,"tid":1,"ts":0,"dur":`...)
+	b = appendMicros(b, t.Total)
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, t.Name)
+	b = append(b, `,"cat":"request","args":{"traceId":`...)
+	b = appendJSONString(b, t.ID)
+	b = append(b, `,"outcome":`...)
+	b = appendJSONString(b, t.Outcome)
+	if t.Error != "" {
+		b = append(b, `,"error":`...)
+		b = appendJSONString(b, t.Error)
+	}
+	b = append(b, `,"slow":`...)
+	b = strconv.AppendBool(b, t.Slow)
+	b = append(b, `,"sampled":`...)
+	b = strconv.AppendBool(b, t.Sampled)
+	b = append(b, `}}`...)
+	for _, sp := range t.Spans {
+		b = append(b, `,{"ph":"X","pid":1,"tid":`...)
+		b = strconv.AppendInt(b, int64(1+sp.Track), 10)
+		b = append(b, `,"ts":`...)
+		b = appendMicros(b, sp.Start)
+		b = append(b, `,"dur":`...)
+		b = appendMicros(b, sp.D)
+		b = append(b, `,"name":`...)
+		b = appendJSONString(b, sp.Name)
+		cat := "stage"
+		if sp.Track > 0 {
+			cat = "racer"
+		}
+		b = append(b, `,"cat":"`...)
+		b = append(b, cat...)
+		b = append(b, `"}`...)
+	}
+	for _, ev := range t.Events {
+		b = append(b, `,{"ph":"i","pid":1,"tid":1,"ts":`...)
+		b = appendMicros(b, ev.At)
+		b = append(b, `,"s":"t","name":`...)
+		b = appendJSONString(b, ev.Name)
+		b = append(b, `,"cat":"event"}`...)
+	}
+	b = append(b, "]}\n"...)
+	_, err := w.Write(b)
+	return err
+}
+
+// appendMeta appends one "M" (metadata) event naming a process or thread.
+// first suppresses the leading comma for the array's first element.
+func appendMeta(b []byte, tid int, key, name string, first bool) []byte {
+	if !first {
+		b = append(b, ',')
+	}
+	b = append(b, `{"ph":"M","pid":1,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"name":"`...)
+	b = append(b, key...)
+	b = append(b, `","args":{"name":`...)
+	b = appendJSONString(b, name)
+	b = append(b, `}}`...)
+	return b
+}
+
+// appendMicros appends a duration as decimal microseconds with exactly as
+// many fractional digits as the nanosecond remainder needs (none, or
+// three). Integer math only, so the rendering is deterministic.
+func appendMicros(b []byte, d time.Duration) []byte {
+	if d < 0 {
+		d = 0
+	}
+	us, ns := int64(d)/1000, int64(d)%1000
+	b = strconv.AppendInt(b, us, 10)
+	if ns != 0 {
+		b = append(b, '.')
+		b = append(b, byte('0'+ns/100), byte('0'+(ns/10)%10), byte('0'+ns%10))
+	}
+	return b
+}
+
+// appendJSONString appends s as a JSON string literal, escaping the
+// characters JSON requires (quote, backslash, control bytes). Trace IDs
+// and span names are ASCII in practice; multi-byte runes pass through
+// verbatim, which is valid JSON.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			b = append(b, '\\', '"')
+		case c == '\\':
+			b = append(b, '\\', '\\')
+		case c < 0x20:
+			const hexDigits = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

@@ -170,6 +170,10 @@ type Options struct {
 type RacerObservation struct {
 	Index     int
 	Algorithm string
+	// Start is when the racer's simulation began on this host (zero for
+	// racers skipped before starting). Together with Wall it places the
+	// racer as a child span on a request's trace timeline.
+	Start time.Time
 	// Wall is the racer's simulation wall time (zero for racers skipped
 	// before starting).
 	Wall time.Duration
@@ -324,7 +328,7 @@ func runRacer(p Portfolio, obj Objective, inst *instance.Instance, tup dftp.Tupl
 		// Aborted mid-run: the result is partial and scheduling-dependent —
 		// discard everything but the fact of the abort.
 		if observe != nil {
-			ob := RacerObservation{Index: i, Algorithm: p.Algorithms[i].Name(), Wall: time.Since(start), Aborted: true}
+			ob := RacerObservation{Index: i, Algorithm: p.Algorithms[i].Name(), Start: start, Wall: time.Since(start), Aborted: true}
 			if at := ctl.cancelTime(i); !at.IsZero() {
 				ob.CancelLatency = time.Since(at)
 			}
@@ -333,7 +337,7 @@ func runRacer(p Portfolio, obj Objective, inst *instance.Instance, tup dftp.Tupl
 		return racerRun{aborted: true}
 	}
 	if observe != nil {
-		observe(RacerObservation{Index: i, Algorithm: p.Algorithms[i].Name(), Wall: time.Since(start)})
+		observe(RacerObservation{Index: i, Algorithm: p.Algorithms[i].Name(), Start: start, Wall: time.Since(start)})
 	}
 	if err != nil {
 		return racerRun{err: err}

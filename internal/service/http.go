@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -24,6 +26,12 @@ import (
 //	GET  /statsz              cache/queue/solve/race counters (JSON view of /metricsz)
 //	GET  /metricsz            full metric registry, Prometheus text exposition
 //	GET  /buildz              build/version info and process uptime
+//	GET  /tracez              flight recorder — recent kept request traces, newest first
+//	GET  /tracez/{id}         one trace; ?format=trace-event emits Chrome trace JSON
+//
+// A client-supplied X-Request-ID is echoed on every response — success,
+// shed, oversized-body, even 404 — so clients can correlate any outcome
+// with their own logs.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -35,7 +43,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	mux.HandleFunc("GET /buildz", s.handleBuildz)
-	return mux
+	mux.HandleFunc("GET /tracez", s.handleTracez)
+	mux.HandleFunc("GET /tracez/{id}", s.handleTracezOne)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rid := sanitizeRequestID(r.Header.Get("X-Request-ID")); rid != "" {
+			w.Header().Set("X-Request-Id", rid)
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // decodeStatus maps a request-decode failure: oversized bodies are 413,
@@ -48,14 +63,38 @@ func decodeStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-func writeJSONError(w http.ResponseWriter, status int, err error) {
+// writeError renders a JSON error body. 429s carry a Retry-After derived
+// from the live queue state rather than a constant, so backoff scales with
+// how far behind the service actually is.
+func (s *Service) writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	w.WriteHeader(status)
 	body, _ := json.Marshal(map[string]string{"error": err.Error()})
 	w.Write(append(body, '\n'))
+}
+
+// retryAfterSeconds estimates how long a shed client should wait: the
+// current backlog divided across the worker pool, priced at the mean
+// simulation time observed so far (an optimistic 250ms before any solve
+// has completed), clamped to [1s, 60s]. A nearly drained queue answers 1;
+// a deep backlog of slow sims pushes clients to back off harder.
+func (s *Service) retryAfterSeconds() int {
+	depth := len(s.jobs)
+	mean := 0.25
+	if snap := s.stageSim.Snapshot(); snap.Count > 0 {
+		mean = snap.Sum / float64(snap.Count)
+	}
+	secs := int(math.Ceil(float64(depth+1) * mean / float64(s.cfg.Workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // statusFor maps service errors to HTTP statuses.
@@ -82,32 +121,38 @@ const maxBodyBytes = 32 << 20
 const maxBatchItems = 4096
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	topt := s.traceIngress(r)
 	var req SolveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeJSONError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		s.writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
-	sv, err := s.Solve(req)
-	writeSolved(w, sv, err)
+	sv, err := s.SolveTraced(topt, req)
+	s.writeSolved(w, sv, err)
 }
 
 func (s *Service) handlePortfolio(w http.ResponseWriter, r *http.Request) {
+	topt := s.traceIngress(r)
 	var req PortfolioRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeJSONError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		s.writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
-	sv, err := s.SolvePortfolio(req)
-	writeSolved(w, sv, err)
+	sv, err := s.SolvePortfolioTraced(topt, req)
+	s.writeSolved(w, sv, err)
 }
 
 // writeSolved renders a Solve/SolvePortfolio outcome: the cached-or-cold
 // canonical bytes with the X-Cache verdict and a Server-Timing stage
 // breakdown, or the mapped error. Timing lives only in headers — the body
 // is the canonical cached bytes, identical across hot and cold serves.
-func writeSolved(w http.ResponseWriter, sv Solved, err error) {
+// Shed and errored requests get the Server-Timing header too (with
+// cache;desc=shed|error), so a client can tell server-side rejection time
+// from network time without a success.
+func (s *Service) writeSolved(w http.ResponseWriter, sv Solved, err error) {
+	w.Header().Set("Server-Timing", serverTiming(sv))
 	if err != nil {
-		writeJSONError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -116,16 +161,17 @@ func writeSolved(w http.ResponseWriter, sv Solved, err error) {
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
-	w.Header().Set("Server-Timing", serverTiming(sv))
 	w.Write(sv.Body)
 }
 
 // serverTiming renders a request's Server-Timing header value: the cache
-// verdict as a descriptor, the stages that ran, and the end-to-end total.
-// Hits report resolve+total only (the other stages didn't run); coalesced
-// requests report the in-flight run they joined.
+// verdict as a descriptor, the stages that ran, the end-to-end total, and
+// the trace ID (when the request has one) as a zero-duration entry — the
+// cross-link into /tracez and the request log. Hits report resolve+total
+// only (the other stages didn't run); coalesced requests report the
+// in-flight run they joined.
 func serverTiming(sv Solved) string {
-	b := make([]byte, 0, 128)
+	b := make([]byte, 0, 192)
 	b = append(b, "cache;desc="...)
 	b = append(b, sv.Outcome...)
 	b = obs.AppendServerTiming(b, "resolve", sv.Resolve)
@@ -139,17 +185,22 @@ func serverTiming(sv Solved) string {
 		b = obs.AppendServerTiming(b, "marshal", sv.Marshal)
 	}
 	b = obs.AppendServerTiming(b, "total", sv.Total)
+	if sv.TraceID != "" {
+		b = append(b, `, traceid;desc="`...)
+		b = append(b, sv.TraceID...)
+		b = append(b, '"')
+	}
 	return string(b)
 }
 
 func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeJSONError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		s.writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if len(req.Requests) > maxBatchItems {
-		writeJSONError(w, http.StatusBadRequest,
+		s.writeError(w, http.StatusBadRequest,
 			fmt.Errorf("batch of %d exceeds the %d-item limit", len(req.Requests), maxBatchItems))
 		return
 	}
@@ -190,7 +241,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	body, err := json.Marshal(BatchResponse{Results: items})
 	if err != nil {
-		writeJSONError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Write(append(body, '\n'))
@@ -199,7 +250,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleProbe(w http.ResponseWriter, r *http.Request) {
 	body, ok := s.Probe(r.PathValue("hash"))
 	if !ok {
-		writeJSONError(w, http.StatusNotFound, errors.New("not cached"))
+		s.writeError(w, http.StatusNotFound, errors.New("not cached"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -209,12 +260,12 @@ func (s *Service) handleProbe(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if !s.TracesRetained() {
-		writeJSONError(w, http.StatusNotFound, errors.New("trace retention disabled (serve with -traces)"))
+		s.writeError(w, http.StatusNotFound, errors.New("trace retention disabled (serve with -traces)"))
 		return
 	}
 	events, ok := s.TraceEvents(r.PathValue("hash"))
 	if !ok {
-		writeJSONError(w, http.StatusNotFound, errors.New("not cached"))
+		s.writeError(w, http.StatusNotFound, errors.New("not cached"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -230,7 +281,7 @@ func (s *Service) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	body, err := json.Marshal(s.Stats())
 	if err != nil {
-		writeJSONError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Write(append(body, '\n'))
@@ -257,11 +308,10 @@ type BuildInfo struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 }
 
-// handleBuildz reports build/version info from the binary's embedded build
-// metadata. Fields missing from the build (e.g. VCS stamps in `go test`
-// binaries) are omitted rather than faked.
-func (s *Service) handleBuildz(w http.ResponseWriter, r *http.Request) {
-	info := BuildInfo{UptimeSeconds: time.Since(s.start).Seconds()}
+// readBuildInfo extracts the binary's embedded build identity — shared by
+// GET /buildz and the dftp_build_info metric, so the two always agree.
+func readBuildInfo() BuildInfo {
+	var info BuildInfo
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		info.GoVersion = bi.GoVersion
 		info.Module = bi.Main.Path
@@ -277,10 +327,19 @@ func (s *Service) handleBuildz(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	return info
+}
+
+// handleBuildz reports build/version info from the binary's embedded build
+// metadata. Fields missing from the build (e.g. VCS stamps in `go test`
+// binaries) are omitted rather than faked.
+func (s *Service) handleBuildz(w http.ResponseWriter, r *http.Request) {
+	info := readBuildInfo()
+	info.UptimeSeconds = time.Since(s.start).Seconds()
 	w.Header().Set("Content-Type", "application/json")
 	body, err := json.Marshal(info)
 	if err != nil {
-		writeJSONError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Write(append(body, '\n'))

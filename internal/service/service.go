@@ -22,6 +22,7 @@ import (
 	"log/slog"
 	"math"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -69,6 +70,19 @@ type Config struct {
 	// touches the logging machinery, which is what keeps instrumentation
 	// inside the cold-solve benchmark's ≤2%/≤5-alloc overhead budget.
 	Logger *slog.Logger
+	// TraceBuffer sizes the /tracez flight recorder: the ring of completed
+	// request traces kept for after-the-fact inspection. 0 selects the
+	// default (256); negative disables request tracing entirely.
+	TraceBuffer int
+	// TraceSample is the probability that a fast, successful request's
+	// trace is kept. Slow, errored, and shed requests are always kept
+	// regardless. 0 selects the default (0.01); negative keeps only the
+	// always-keep classes.
+	TraceSample float64
+	// TraceSlow is the always-keep threshold: a request whose total
+	// latency reaches it is traced no matter what the sampler said.
+	// 0 selects the default (250ms); negative disables the slow policy.
+	TraceSlow time.Duration
 	// memoSize bounds the request-shape → hash memo in entries (default
 	// 4096; entries are two short strings).
 	memoSize int
@@ -89,6 +103,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.memoSize < 1 {
 		c.memoSize = 4096
+	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 256
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 0.01
+	}
+	if c.TraceSlow == 0 {
+		c.TraceSlow = 250 * time.Millisecond
 	}
 	return c
 }
@@ -117,6 +140,14 @@ type Solved struct {
 	Sim     time.Duration
 	Marshal time.Duration
 	Total   time.Duration
+	// TraceID is the request's trace identity when one exists: the inbound
+	// ID for HTTP requests, or a minted one if the trace was kept. Empty
+	// means the request was neither externally identified nor kept. It is
+	// surfaced in Server-Timing and the request log, never in Body.
+	TraceID string
+	// racers carries a portfolio run's per-racer observations to the trace
+	// assembler (only populated while tracing is enabled).
+	racers []portfolio.RacerObservation
 }
 
 // job is one queued unit of work: a simulation or a whole portfolio race,
@@ -141,6 +172,10 @@ type stageTimes struct {
 	queue   time.Duration
 	sim     time.Duration
 	marshal time.Duration
+	// racers is the run's per-racer observation list (portfolio runs with
+	// tracing enabled only), sorted by entrant index. Like the durations
+	// above it is written strictly before close(done).
+	racers []portfolio.RacerObservation
 }
 
 // call is a single-flight slot: the first request for a hash creates it,
@@ -212,6 +247,11 @@ type Service struct {
 	reqOutcomes   map[epOutcome]*obs.Counter
 	shapeMu       sync.RWMutex
 	shapeCounters map[shapeLabels]*obs.Counter
+
+	// traces is the /tracez flight recorder (nil when disabled); tracesKept
+	// counts keeps by policy reason (slow / error / shed / sampled).
+	traces     *obs.TraceStore
+	tracesKept map[string]*obs.Counter
 }
 
 // epOutcome keys a dftp_requests_total series.
@@ -253,6 +293,9 @@ func New(cfg Config) *Service {
 		shapes:   newMemoLRU(cfg.memoSize),
 		params:   newParamsLRU(cfg.memoSize),
 		inflight: make(map[string]*call),
+	}
+	if cfg.TraceBuffer > 0 {
+		s.traces = obs.NewTraceStore(cfg.TraceBuffer)
 	}
 	s.initObs()
 	s.wg.Add(cfg.Workers)
@@ -304,6 +347,35 @@ func (s *Service) initObs() {
 		}
 	}
 	s.shapeCounters = make(map[shapeLabels]*obs.Counter)
+
+	s.tracesKept = make(map[string]*obs.Counter)
+	for _, reason := range []string{keepSlow, keepError, keepShed, keepSampled} {
+		s.tracesKept[reason] = r.Counter("dftp_traces_kept_total",
+			"Request traces kept in the /tracez flight recorder, by keep reason.", obs.L("reason", reason))
+	}
+	r.Gauge("dftp_trace_buffer_entries", "Traces currently held by the /tracez ring.", func() float64 {
+		if s.traces == nil {
+			return 0
+		}
+		return float64(s.traces.Len())
+	})
+	r.Gauge("dftp_trace_buffer_capacity", "Capacity of the /tracez trace ring (0 = tracing disabled).", func() float64 {
+		if s.traces == nil {
+			return 0
+		}
+		return float64(s.traces.Capacity())
+	})
+
+	// Build identity as a constant-1 info gauge, the Prometheus convention
+	// for joining metrics against version labels.
+	bi := readBuildInfo()
+	revision := bi.Revision
+	if revision == "" {
+		revision = "unknown"
+	}
+	r.Gauge("dftp_build_info", "Build identity of the running binary (value is always 1).", func() float64 { return 1 },
+		obs.L("goVersion", bi.GoVersion), obs.L("revision", revision),
+		obs.L("modified", fmt.Sprintf("%t", bi.Dirty)))
 
 	r.Gauge("dftp_queue_depth", "Jobs queued but not yet picked up by a worker.", func() float64 {
 		return float64(len(s.jobs))
@@ -391,28 +463,39 @@ func (s *Service) observeRacer(ob portfolio.RacerObservation) {
 
 // logRequest emits one structured record per request when logging is
 // enabled. Errors log at Warn with the error attached; successes at Info
-// with the full stage breakdown.
-func (s *Service) logRequest(endpoint string, sv Solved, err error) {
+// with the full stage breakdown. The trace ID (when the request has one)
+// and the client's X-Request-ID land on every record, so one grep joins a
+// log line, its /tracez trace, and the client's own logs.
+func (s *Service) logRequest(endpoint string, sv Solved, topt TraceOpt, err error) {
 	if s.log == nil {
 		return
 	}
+	attrs := make([]slog.Attr, 0, 10)
+	attrs = append(attrs, slog.String("endpoint", endpoint))
+	level := slog.LevelInfo
 	if err != nil {
-		s.log.LogAttrs(context.Background(), slog.LevelWarn, "request",
-			slog.String("endpoint", endpoint),
+		level = slog.LevelWarn
+		attrs = append(attrs,
 			slog.String("outcome", sv.Outcome),
 			slog.Duration("total", sv.Total),
 			slog.String("error", err.Error()))
-		return
+	} else {
+		attrs = append(attrs,
+			slog.String("hash", sv.Hash),
+			slog.String("outcome", sv.Outcome),
+			slog.Duration("total", sv.Total),
+			slog.Duration("resolve", sv.Resolve),
+			slog.Duration("queue", sv.Queue),
+			slog.Duration("sim", sv.Sim),
+			slog.Duration("marshal", sv.Marshal))
 	}
-	s.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
-		slog.String("endpoint", endpoint),
-		slog.String("hash", sv.Hash),
-		slog.String("outcome", sv.Outcome),
-		slog.Duration("total", sv.Total),
-		slog.Duration("resolve", sv.Resolve),
-		slog.Duration("queue", sv.Queue),
-		slog.Duration("sim", sv.Sim),
-		slog.Duration("marshal", sv.Marshal))
+	if sv.TraceID != "" {
+		attrs = append(attrs, slog.String("trace", sv.TraceID))
+	}
+	if topt.RequestID != "" {
+		attrs = append(attrs, slog.String("requestId", topt.RequestID))
+	}
+	s.log.LogAttrs(context.Background(), level, "request", attrs...)
 }
 
 // Close drains the queue, stops the workers, and fails subsequent Solves
@@ -648,30 +731,37 @@ func (s *Service) resolvePortfolio(pf portfolio.Portfolio, m geom.Metric, req Po
 // ErrBadRequest (invalid request), ErrQueueFull (load shed), ErrClosed, or
 // a simulation failure.
 func (s *Service) Solve(req SolveRequest) (Solved, error) {
+	return s.SolveTraced(TraceOpt{}, req)
+}
+
+// SolveTraced is Solve with a transport-layer trace identity: the HTTP
+// handler parses traceparent / X-Request-ID and rolls the sampling die
+// once, then passes the verdict down here. Direct callers use Solve.
+func (s *Service) SolveTraced(topt TraceOpt, req SolveRequest) (Solved, error) {
 	sp := obs.StartSpan()
 	// Memo fast path: a family request whose shape was seen before finds
 	// its hash — and with luck its cached bytes — without re-generating the
 	// instance and re-hashing its points.
 	alg, err := AlgorithmByName(req.Algorithm)
 	if err != nil {
-		return s.finish("solve", s.durSolve, Solved{Resolve: sp.Mark("resolve")}, &sp, err)
+		return s.finish("solve", s.durSolve, Solved{Resolve: sp.Mark("resolve")}, &sp, topt, err)
 	}
 	m, err := parseMetric(req.Metric)
 	if err != nil {
-		return s.finish("solve", s.durSolve, Solved{Resolve: sp.Mark("resolve")}, &sp, err)
+		return s.finish("solve", s.durSolve, Solved{Resolve: sp.Mark("resolve")}, &sp, topt, err)
 	}
 	s.countShape("solve", alg.Name(), geom.MetricOrL2(m).Name())
 	key, keyed := shapeKey(alg.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
 			sv.Resolve = sp.Mark("resolve")
-			return s.finish("solve", s.durSolve, sv, &sp, err)
+			return s.finish("solve", s.durSolve, sv, &sp, topt, err)
 		}
 	}
 	r, err := s.resolve(alg, m, req)
 	resolveDur := sp.Mark("resolve")
 	if err != nil {
-		return s.finish("solve", s.durSolve, Solved{Resolve: resolveDur}, &sp, err)
+		return s.finish("solve", s.durSolve, Solved{Resolve: resolveDur}, &sp, topt, err)
 	}
 	run := func(ts *stageTimes) (*entry, error) {
 		rsp := obs.StartSpan()
@@ -703,7 +793,7 @@ func (s *Service) Solve(req SolveRequest) (Solved, error) {
 	}
 	sv, err := s.startOrJoin(r.hash, key, 1, run)
 	sv.Resolve = resolveDur
-	return s.finish("solve", s.durSolve, sv, &sp, err)
+	return s.finish("solve", s.durSolve, sv, &sp, topt, err)
 }
 
 // recordSimProbes folds one completed run's event-loop probe counters into
@@ -720,8 +810,10 @@ func (s *Service) recordSimProbes(res sim.Result) {
 // structured log record, and stamps the total onto the Solved for the
 // HTTP layer's Server-Timing header. sv.Resolve must already be set by
 // the caller (marked when resolution — validation, memo lookup or full
-// instance materialization — actually finished).
-func (s *Service) finish(endpoint string, dur *obs.Histogram, sv Solved, sp *obs.Span, err error) (Solved, error) {
+// instance materialization — actually finished). With the outcome and
+// total known it also applies the trace keep policy: the unkept path adds
+// nothing to the cold solve — no allocation, two comparisons.
+func (s *Service) finish(endpoint string, dur *obs.Histogram, sv Solved, sp *obs.Span, topt TraceOpt, err error) (Solved, error) {
 	s.stageResolve.Record(sv.Resolve.Seconds())
 	sv.Total = sp.Total()
 	dur.Record(sv.Total.Seconds())
@@ -736,7 +828,9 @@ func (s *Service) finish(endpoint string, dur *obs.Histogram, sv Solved, sp *obs
 	if c := s.reqOutcomes[epOutcome{endpoint, sv.Outcome}]; c != nil {
 		c.Inc()
 	}
-	s.logRequest(endpoint, sv, err)
+	sv.TraceID = topt.ID
+	s.recordTrace(endpoint, &sv, sp, topt, err)
+	s.logRequest(endpoint, sv, topt, err)
 	return sv, err
 }
 
@@ -746,34 +840,62 @@ func (s *Service) finish(endpoint string, dur *obs.Histogram, sv Solved, sp *obs
 // bounded by Config.Workers); because race outcomes are deterministic at
 // any worker count, the response is cacheable exactly like a single solve.
 func (s *Service) SolvePortfolio(req PortfolioRequest) (Solved, error) {
+	return s.SolvePortfolioTraced(TraceOpt{}, req)
+}
+
+// SolvePortfolioTraced is SolvePortfolio with a transport-layer trace
+// identity (see SolveTraced). Kept portfolio traces carry per-racer child
+// spans, collected from the race's Observe callback.
+func (s *Service) SolvePortfolioTraced(topt TraceOpt, req PortfolioRequest) (Solved, error) {
 	sp := obs.StartSpan()
 	pf, err := portfolioFor(req)
 	if err != nil {
-		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: sp.Mark("resolve")}, &sp, err)
+		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: sp.Mark("resolve")}, &sp, topt, err)
 	}
 	m, err := parseMetric(req.Metric)
 	if err != nil {
-		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: sp.Mark("resolve")}, &sp, err)
+		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: sp.Mark("resolve")}, &sp, topt, err)
 	}
 	s.countShape("portfolio", pf.Name(), geom.MetricOrL2(m).Name())
 	key, keyed := shapeKey(pf.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
 			sv.Resolve = sp.Mark("resolve")
-			return s.finish("portfolio", s.durPortfolio, sv, &sp, err)
+			return s.finish("portfolio", s.durPortfolio, sv, &sp, topt, err)
 		}
 	}
 	r, err := s.resolvePortfolio(pf, m, req)
 	resolveDur := sp.Mark("resolve")
 	if err != nil {
-		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: resolveDur}, &sp, err)
+		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: resolveDur}, &sp, topt, err)
 	}
 	run := func(ts *stageTimes) (*entry, error) {
 		rsp := obs.StartSpan()
+		// With tracing enabled, tee the race's observations into the call
+		// so kept traces get per-racer child spans. Observe runs from racer
+		// goroutines, hence the mutex; the final sorted slice is published
+		// via ts before close(done) like the stage durations.
+		observe := s.observeRacer
+		var rmu sync.Mutex
+		var racerObs []portfolio.RacerObservation
+		if s.traces != nil {
+			observe = func(ob portfolio.RacerObservation) {
+				s.observeRacer(ob)
+				rmu.Lock()
+				racerObs = append(racerObs, ob)
+				rmu.Unlock()
+			}
+		}
 		res, err := portfolio.Race(r.pf, r.inst, r.tup, r.budget,
 			portfolio.Options{Workers: s.cfg.Workers, Trace: !s.cfg.DropTraces, Metric: r.metric,
-				Observe: s.observeRacer})
+				Observe: observe})
 		ts.sim = rsp.Mark("sim")
+		// Race joined all racer goroutines before returning, so racerObs is
+		// complete and safe to read without the mutex here.
+		if len(racerObs) > 0 {
+			sort.Slice(racerObs, func(i, j int) bool { return racerObs[i].Index < racerObs[j].Index })
+			ts.racers = racerObs
+		}
 		s.stageSim.Record(ts.sim.Seconds())
 		s.races.Add(1)
 		if err != nil {
@@ -802,7 +924,7 @@ func (s *Service) SolvePortfolio(req PortfolioRequest) (Solved, error) {
 	}
 	sv, err := s.startOrJoin(r.hash, key, width, run)
 	sv.Resolve = resolveDur
-	return s.finish("portfolio", s.durPortfolio, sv, &sp, err)
+	return s.finish("portfolio", s.durPortfolio, sv, &sp, topt, err)
 }
 
 // memoLookup serves a request whose shape key is already memoized: a cache
@@ -835,7 +957,7 @@ func (s *Service) memoLookup(key string) (sv Solved, handled bool, err error) {
 		s.coalesced.Add(1)
 		s.memoHits.Add(1)
 		return Solved{Hash: hash, Body: c.ent.body, Hit: true, Outcome: OutcomeCoalesced,
-			Queue: c.queue, Sim: c.sim, Marshal: c.marshal}, true, nil
+			Queue: c.queue, Sim: c.sim, Marshal: c.marshal, racers: c.racers}, true, nil
 	}
 	s.mu.Unlock()
 	return Solved{}, false, nil
@@ -878,7 +1000,7 @@ func (s *Service) startOrJoin(hash, memoKey string, width int, run func(*stageTi
 		// requests that were actually served an error.
 		s.coalesced.Add(1)
 		return Solved{Hash: hash, Body: c.ent.body, Hit: true, Outcome: OutcomeCoalesced,
-			Queue: c.queue, Sim: c.sim, Marshal: c.marshal}, nil
+			Queue: c.queue, Sim: c.sim, Marshal: c.marshal, racers: c.racers}, nil
 	}
 	if s.queueWeight+width > s.cfg.QueueDepth+s.cfg.Workers {
 		s.mu.Unlock()
@@ -905,7 +1027,7 @@ func (s *Service) startOrJoin(hash, memoKey string, width int, run func(*stageTi
 		return Solved{}, c.err
 	}
 	return Solved{Hash: hash, Body: c.ent.body, Hit: false, Outcome: OutcomeMiss,
-		Queue: c.queue, Sim: c.sim, Marshal: c.marshal}, nil
+		Queue: c.queue, Sim: c.sim, Marshal: c.marshal, racers: c.racers}, nil
 }
 
 // worker runs queued jobs, stores the marshaled response in the cache, and
@@ -984,6 +1106,9 @@ func (s *Service) Stats() Stats {
 		CacheCapacity:   s.cfg.CacheBytes,
 		TracesRetained:  !s.cfg.DropTraces,
 		Workers:         s.cfg.Workers,
+	}
+	for _, c := range s.tracesKept {
+		st.TracesKept += c.Load()
 	}
 	// Derived ratios: zero-denominator cases are exactly 0, never NaN —
 	// json.Marshal rejects NaN, so a fresh server's /statsz must not divide.

@@ -1,0 +1,414 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceTestConfig keeps every trace deterministically: a zero slow
+// threshold is "use default", so the tests pin an absurdly low one (1ns —
+// every request is slow) and disable the sampler to make keeps
+// policy-driven, not coin-driven.
+func traceTestConfig(cfg Config) Config {
+	cfg.TraceSlow = time.Nanosecond
+	cfg.TraceSample = -1
+	return cfg
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp
+}
+
+var traceIDRe = regexp.MustCompile(`traceid;desc="([^"]+)"`)
+
+// A slow-kept cold solve must land in /tracez with all four stages, and
+// its ID must appear in the Server-Timing header — the cross-link clients
+// follow from a response to its trace.
+func TestTracezSlowKeptSolve(t *testing.T) {
+	_, srv := newTestServer(t, traceTestConfig(Config{Workers: 2}))
+
+	resp, body := postSolve(t, srv, walkBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	st := resp.Header.Get("Server-Timing")
+	m := traceIDRe.FindStringSubmatch(st)
+	if m == nil {
+		t.Fatalf("Server-Timing has no traceid entry: %q", st)
+	}
+	id := m[1]
+
+	var tz TracezResponse
+	getJSON(t, srv.URL+"/tracez", &tz)
+	if tz.Kept < 1 || len(tz.Traces) < 1 {
+		t.Fatalf("tracez kept=%d traces=%d, want ≥1", tz.Kept, len(tz.Traces))
+	}
+	var got *TracezSummary
+	for i := range tz.Traces {
+		if tz.Traces[i].ID == id {
+			got = &tz.Traces[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("trace %s not in /tracez listing", id)
+	}
+	if got.Outcome != OutcomeMiss || !got.Slow {
+		t.Fatalf("trace = %+v, want slow miss", got)
+	}
+	for _, stage := range []string{"resolve", "queue", "sim", "marshal"} {
+		if _, ok := got.Stages[stage]; !ok {
+			t.Fatalf("trace stages %v missing %q", got.Stages, stage)
+		}
+	}
+
+	// The full view resolves by ID and orders root-track spans sequentially.
+	var full TraceJSON
+	getJSON(t, srv.URL+"/tracez/"+id, &full)
+	if len(full.Spans) != 4 {
+		t.Fatalf("full trace has %d spans, want 4: %+v", len(full.Spans), full.Spans)
+	}
+	for i := 1; i < len(full.Spans); i++ {
+		if full.Spans[i].StartMs < full.Spans[i-1].StartMs {
+			t.Fatalf("span %d starts before its predecessor: %+v", i, full.Spans)
+		}
+	}
+
+	// And the trace-event rendering is valid Chrome trace JSON.
+	respTE, err := http.Get(srv.URL + "/tracez/" + id + "?format=trace-event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, _ := io.ReadAll(respTE.Body)
+	respTE.Body.Close()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(te, &doc); err != nil {
+		t.Fatalf("trace-event output is not valid JSON: %v\n%s", err, te)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace-event output has no events:\n%s", te)
+	}
+}
+
+// Errored requests are always kept, even when the sampler would never
+// fire and the request is fast.
+func TestTracezErrorAlwaysKept(t *testing.T) {
+	cfg := traceTestConfig(Config{Workers: 1})
+	cfg.TraceSlow = -1 // slow policy off too: only the error policy can keep
+	s, srv := newTestServer(t, cfg)
+
+	resp, _ := postSolve(t, srv, `{"algorithm":"nope","family":"walk","n":8}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad algorithm: %d, want 400", resp.StatusCode)
+	}
+	if st := resp.Header.Get("Server-Timing"); !strings.Contains(st, "cache;desc=error") {
+		t.Fatalf("error Server-Timing = %q, want cache;desc=error", st)
+	}
+	var tz TracezResponse
+	getJSON(t, srv.URL+"/tracez", &tz)
+	if len(tz.Traces) != 1 {
+		t.Fatalf("kept %d traces, want exactly the errored one", len(tz.Traces))
+	}
+	tr := tz.Traces[0]
+	if tr.Outcome != OutcomeError || tr.Error == "" {
+		t.Fatalf("trace = %+v, want errored with message", tr)
+	}
+	if s.Stats().TracesKept != 1 {
+		t.Fatalf("stats TracesKept = %d, want 1", s.Stats().TracesKept)
+	}
+}
+
+// With tracing policies all disabled, nothing is kept and /tracez reports
+// an empty recorder — but the endpoints still answer.
+func TestTracezNothingKeptWhenDisabledPolicies(t *testing.T) {
+	cfg := Config{Workers: 1, TraceSample: -1, TraceSlow: -1}
+	_, srv := newTestServer(t, cfg)
+
+	postSolve(t, srv, walkBody)
+	var tz TracezResponse
+	getJSON(t, srv.URL+"/tracez", &tz)
+	if tz.Kept != 0 || tz.TotalKept != 0 {
+		t.Fatalf("kept %d/%d traces with all policies off", tz.Kept, tz.TotalKept)
+	}
+	resp := getJSON(t, srv.URL+"/tracez/deadbeef", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace id: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TraceBuffer < 0 disables the recorder entirely: /tracez is 404 and
+// solves still work.
+func TestTracezDisabled(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1, TraceBuffer: -1})
+	resp, body := postSolve(t, srv, walkBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve with tracing disabled: %d %s", resp.StatusCode, body)
+	}
+	r := getJSON(t, srv.URL+"/tracez", nil)
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("/tracez with tracing disabled: %d, want 404", r.StatusCode)
+	}
+}
+
+// An inbound W3C traceparent supplies the trace ID: the kept trace and the
+// Server-Timing entry both carry the client's ID.
+func TestTraceparentPropagation(t *testing.T) {
+	_, srv := newTestServer(t, traceTestConfig(Config{Workers: 1}))
+
+	const wantID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/solve", strings.NewReader(walkBody))
+	req.Header.Set("traceparent", "00-"+wantID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	m := traceIDRe.FindStringSubmatch(resp.Header.Get("Server-Timing"))
+	if m == nil || m[1] != wantID {
+		t.Fatalf("Server-Timing traceid = %v, want %s", m, wantID)
+	}
+	var full TraceJSON
+	getJSON(t, srv.URL+"/tracez/"+wantID, &full)
+	if full.ID != wantID || !full.Sampled {
+		t.Fatalf("trace = %+v, want id %s sampled (traceparent flag 01)", full.TracezSummary, wantID)
+	}
+}
+
+// X-Request-ID is echoed on every response — success, client error, shed —
+// and lands in the structured request log.
+func TestRequestIDEchoEverywhere(t *testing.T) {
+	var logBuf bytes.Buffer
+	cfg := traceTestConfig(Config{Workers: 1, Logger: slog.New(slog.NewJSONHandler(&logBuf, nil))})
+	_, srv := newTestServer(t, cfg)
+
+	send := func(path, body, rid string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest("POST", srv.URL+path, strings.NewReader(body))
+		req.Header.Set("X-Request-ID", rid)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	ok := send("/v1/solve", walkBody, "client-req-1")
+	if got := ok.Header.Get("X-Request-ID"); got != "client-req-1" {
+		t.Fatalf("success echo = %q", got)
+	}
+	bad := send("/v1/solve", `{"algorithm":"nope"}`, "client-req-2")
+	if got := bad.Header.Get("X-Request-ID"); got != "client-req-2" {
+		t.Fatalf("400 echo = %q", got)
+	}
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad request status = %d", bad.StatusCode)
+	}
+	// Oversized body: rejected at decode (413), still echoed.
+	huge := send("/v1/solve", `{"instance":{"points":[`+strings.Repeat("[0,0],", 6<<20)+`[0,0]]}}`, "client-req-3")
+	if huge.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %d, want 413", huge.StatusCode)
+	}
+	if got := huge.Header.Get("X-Request-ID"); got != "client-req-3" {
+		t.Fatalf("413 echo = %q", got)
+	}
+	// A hostile ID (header-breaking characters) is dropped, not reflected.
+	evil := send("/v1/solve", walkBody, `x";evil=1`)
+	if got := evil.Header.Get("X-Request-ID"); got != "" {
+		t.Fatalf("hostile id reflected: %q", got)
+	}
+
+	// The client's ID joins the structured log record.
+	if !strings.Contains(logBuf.String(), `"requestId":"client-req-1"`) {
+		t.Fatalf("request log missing requestId:\n%s", logBuf.String())
+	}
+	// And the kept trace's ID appears in both the log and the listing.
+	var tz TracezResponse
+	getJSON(t, srv.URL+"/tracez", &tz)
+	found := false
+	for _, tr := range tz.Traces {
+		if strings.Contains(logBuf.String(), `"trace":"`+tr.ID+`"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no kept trace ID appears in the request log\nlog:\n%s", logBuf.String())
+	}
+}
+
+// Shed responses (429) carry a queue-derived Retry-After — an integer
+// number of seconds, at least 1 — plus the shed Server-Timing marker, and
+// the shed trace is always kept.
+func TestShedResponseHeadersAndTrace(t *testing.T) {
+	block := make(chan struct{})
+	cfg := traceTestConfig(Config{Workers: 1, QueueDepth: 1, preSolve: func() { <-block }})
+	cfg.TraceSlow = -1 // only the shed policy may keep
+	_, srv := newTestServer(t, cfg)
+	defer close(block)
+
+	// Fill the admission budget (QueueDepth+Workers = 2 effective slots)
+	// with two requests held open by the blocked worker, then overflow.
+	// The client goroutines stay blocked until the deferred close.
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			body := fmt.Sprintf(`{"algorithm":"agrid","family":"walk","n":24,"param":0.9,"seed":%d}`, 100+i)
+			resp, err := http.Post(srv.URL+"/v1/solve", "application/json", strings.NewReader(body))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var st Stats
+		getJSON(t, srv.URL+"/statsz", &st)
+		if st.QueueWeight >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: weight %d", st.QueueWeight)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Admission is at capacity, so this request must shed without blocking.
+	shedResp, _ := postSolve(t, srv, `{"algorithm":"agrid","family":"walk","n":24,"param":0.9,"seed":999}`)
+	if shedResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: %d, want 429", shedResp.StatusCode)
+	}
+	ra, err := strconv.Atoi(shedResp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 60 {
+		t.Fatalf("Retry-After = %q, want integer in [1,60]", shedResp.Header.Get("Retry-After"))
+	}
+	if st := shedResp.Header.Get("Server-Timing"); !strings.Contains(st, "cache;desc=shed") {
+		t.Fatalf("shed Server-Timing = %q, want cache;desc=shed", st)
+	}
+	var tz TracezResponse
+	getJSON(t, srv.URL+"/tracez", &tz)
+	foundShed := false
+	for _, tr := range tz.Traces {
+		if tr.Outcome == OutcomeShed {
+			foundShed = true
+		}
+	}
+	if !foundShed {
+		t.Fatalf("no shed trace kept; listing: %+v", tz.Traces)
+	}
+}
+
+// A kept portfolio trace carries per-racer child spans on non-zero tracks.
+func TestTracezPortfolioRacerSpans(t *testing.T) {
+	_, srv := newTestServer(t, traceTestConfig(Config{Workers: 2}))
+
+	body := `{"algorithms":["agrid","awave"],"family":"walk","n":24,"param":0.9,"seed":7}`
+	resp, err := http.Post(srv.URL+"/v1/portfolio", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("portfolio: %d", resp.StatusCode)
+	}
+	m := traceIDRe.FindStringSubmatch(resp.Header.Get("Server-Timing"))
+	if m == nil {
+		t.Fatalf("portfolio Server-Timing has no traceid: %q", resp.Header.Get("Server-Timing"))
+	}
+	var full TraceJSON
+	getJSON(t, srv.URL+"/tracez/"+m[1], &full)
+	racers := 0
+	for _, sp := range full.Spans {
+		if sp.Track > 0 {
+			if !strings.HasPrefix(sp.Name, "racer:") {
+				t.Fatalf("non-root span %+v not a racer", sp)
+			}
+			racers++
+		}
+	}
+	if racers != 2 {
+		t.Fatalf("portfolio trace has %d racer spans, want 2: %+v", racers, full.Spans)
+	}
+	if full.Racers != 2 {
+		t.Fatalf("summary racer count = %d, want 2", full.Racers)
+	}
+}
+
+// The ring keeps the most recent TraceBuffer traces: older ones evict, and
+// /tracez reports the eviction count.
+func TestTracezRingEviction(t *testing.T) {
+	cfg := traceTestConfig(Config{Workers: 1, TraceBuffer: 4})
+	_, srv := newTestServer(t, cfg)
+
+	for seed := 0; seed < 10; seed++ {
+		body := fmt.Sprintf(`{"algorithm":"agrid","family":"walk","n":16,"param":0.9,"seed":%d}`, seed)
+		resp, b := postSolve(t, srv, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: %d %s", seed, resp.StatusCode, b)
+		}
+	}
+	var tz TracezResponse
+	getJSON(t, srv.URL+"/tracez", &tz)
+	if tz.Capacity != 4 || tz.Kept != 4 {
+		t.Fatalf("capacity/kept = %d/%d, want 4/4", tz.Capacity, tz.Kept)
+	}
+	if tz.TotalKept != 10 || tz.Evicted != 6 {
+		t.Fatalf("totalKept/evicted = %d/%d, want 10/6", tz.TotalKept, tz.Evicted)
+	}
+	// Newest first: each listed trace started no earlier than its successor.
+	for i := 1; i < len(tz.Traces); i++ {
+		if tz.Traces[i].Start.After(tz.Traces[i-1].Start) {
+			t.Fatalf("listing not newest-first at %d: %+v", i, tz.Traces)
+		}
+	}
+}
+
+// dftp_build_info is exposed with value 1 and the identity labels.
+func TestBuildInfoMetric(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(srv.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(data)
+	if !strings.Contains(text, "dftp_build_info{") {
+		t.Fatalf("/metricsz missing dftp_build_info:\n%s", text)
+	}
+	re := regexp.MustCompile(`dftp_build_info\{[^}]*goVersion="[^"]+"[^}]*\} 1\n`)
+	if !re.MatchString(text) {
+		t.Fatalf("dftp_build_info lacks goVersion label or value 1:\n%s", text)
+	}
+	for _, label := range []string{"revision=", "modified="} {
+		if !strings.Contains(text, label) {
+			t.Fatalf("dftp_build_info missing %s label", label)
+		}
+	}
+}

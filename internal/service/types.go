@@ -208,30 +208,31 @@ type BatchResponse struct {
 
 // Stats is the /statsz payload.
 type Stats struct {
-	Hits            int64   `json:"hits"`            // served from the result cache
-	Coalesced       int64   `json:"coalesced"`       // joined an identical in-flight solve
-	Misses          int64   `json:"misses"`          // initiated a simulation
-	Shed            int64   `json:"shed"`            // rejected with queue-full (HTTP 429)
-	Solves          int64   `json:"solves"`          // simulations actually run
-	Races           int64   `json:"races"`           // portfolio races actually run
-	RacersCancelled int64   `json:"racersCancelled"` // losing racers cancelled by early-stop objectives
-	MemoHits        int64   `json:"memoHits"`        // hits/coalesces served via the shape→hash memo (no instance re-generation)
-	ParamsMemoHits  int64   `json:"paramsMemoHits"`  // cold solves whose (ℓ*, ρ*) derivation was served by the params memo
+	Hits            int64 `json:"hits"`            // served from the result cache
+	Coalesced       int64 `json:"coalesced"`       // joined an identical in-flight solve
+	Misses          int64 `json:"misses"`          // initiated a simulation
+	Shed            int64 `json:"shed"`            // rejected with queue-full (HTTP 429)
+	Solves          int64 `json:"solves"`          // simulations actually run
+	Races           int64 `json:"races"`           // portfolio races actually run
+	RacersCancelled int64 `json:"racersCancelled"` // losing racers cancelled by early-stop objectives
+	MemoHits        int64 `json:"memoHits"`        // hits/coalesces served via the shape→hash memo (no instance re-generation)
+	ParamsMemoHits  int64 `json:"paramsMemoHits"`  // cold solves whose (ℓ*, ρ*) derivation was served by the params memo
 	// Derived ratios. All are defined as exactly 0 when their denominator
 	// is zero (a fresh server), never NaN: encoding/json refuses NaN, so an
 	// unguarded division would turn GET /statsz into a 500 at zero traffic.
-	HitRate     float64 `json:"hitRate"`     // (hits+coalesced) / (hits+coalesced+misses)
-	MemoHitRate float64 `json:"memoHitRate"` // memoHits / (hits+coalesced) — cache serves that skipped instance materialization
-	ShedRate    float64 `json:"shedRate"`    // shed / (hits+coalesced+misses+shed)
-	QueueDepth      int     `json:"queueDepth"`
-	QueueCapacity   int     `json:"queueCapacity"`
-	QueueWeight     int     `json:"queueWeight"`    // admitted effective slots (width-weighted, queued + running)
-	AdmissionCap    int     `json:"admissionCap"`   // queueWeight ceiling: queueCapacity + workers
-	CacheLen        int     `json:"cacheLen"`       // entries currently cached
-	CacheBytes      int64   `json:"cacheBytes"`     // approximate retained bytes
-	CacheCapacity   int64   `json:"cacheCapacity"`  // cache budget in bytes
-	TracesRetained  bool    `json:"tracesRetained"` // per-entry event traces kept (GET /v1/trace)
-	Workers         int     `json:"workers"`
+	HitRate        float64 `json:"hitRate"`     // (hits+coalesced) / (hits+coalesced+misses)
+	MemoHitRate    float64 `json:"memoHitRate"` // memoHits / (hits+coalesced) — cache serves that skipped instance materialization
+	ShedRate       float64 `json:"shedRate"`    // shed / (hits+coalesced+misses+shed)
+	QueueDepth     int     `json:"queueDepth"`
+	QueueCapacity  int     `json:"queueCapacity"`
+	QueueWeight    int     `json:"queueWeight"`    // admitted effective slots (width-weighted, queued + running)
+	AdmissionCap   int     `json:"admissionCap"`   // queueWeight ceiling: queueCapacity + workers
+	CacheLen       int     `json:"cacheLen"`       // entries currently cached
+	CacheBytes     int64   `json:"cacheBytes"`     // approximate retained bytes
+	CacheCapacity  int64   `json:"cacheCapacity"`  // cache budget in bytes
+	TracesRetained bool    `json:"tracesRetained"` // per-entry event traces kept (GET /v1/trace)
+	TracesKept     int64   `json:"tracesKept"`     // request traces kept by the /tracez flight recorder (lifetime)
+	Workers        int     `json:"workers"`
 }
 
 // AlgorithmByName resolves the wire name of an algorithm (case-insensitive;
