@@ -47,6 +47,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -379,7 +380,73 @@ type stepReport struct {
 	ServerLatency latencySummary            `json:"serverLatency"`
 	NetworkLag    latencySummary            `json:"networkLag"`
 	Stages        map[string]latencySummary `json:"stages"`
+	ServerMemory  *memReport                `json:"serverMemory,omitempty"`
 	PerMix        []mixReport               `json:"perMix"`
+}
+
+// memReport is the server's allocation pressure over one load step, diffed
+// from /metricsz scrapes taken immediately before and after the step. It
+// ties the latency curves to their usual cause at saturation: bytes
+// allocated per request and the GC cycles they force.
+type memReport struct {
+	GCCycles         int64   `json:"gcCycles"`         // completed GC cycles during the step
+	AllocBytes       int64   `json:"allocBytes"`       // heap bytes allocated during the step
+	AllocBytesPerReq float64 `json:"allocBytesPerReq"` // allocBytes / step requests
+	HeapStartBytes   int64   `json:"heapStartBytes"`   // live heap at step start
+	HeapEndBytes     int64   `json:"heapEndBytes"`     // live heap at step end
+}
+
+// scrapeMem pulls the runtime gauges from /metricsz. A zero value with
+// ok=false (endpoint missing, old server) just omits serverMemory from the
+// report rather than failing the run.
+type memSample struct {
+	gcCycles   int64
+	allocTotal int64
+	heapAlloc  int64
+}
+
+func scrapeMem(client *http.Client, addr string) (memSample, bool) {
+	var s memSample
+	resp, err := client.Get(addr + "/metricsz")
+	if err != nil {
+		return s, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return s, false
+	}
+	found := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		var dst *int64
+		switch name {
+		case "go_gc_cycles_total":
+			dst = &s.gcCycles
+		case "go_alloc_bytes_total":
+			dst = &s.allocTotal
+		case "go_heap_alloc_bytes":
+			dst = &s.heapAlloc
+		default:
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		*dst = int64(v)
+		found++
+	}
+	return s, found == 3
 }
 
 type report struct {
@@ -627,12 +694,30 @@ func run() error {
 			mode = fmt.Sprintf("open @ %g qps", stepQPS)
 		}
 		fmt.Fprintf(os.Stderr, "dftp-loadgen: step %s for %s (%d mixes)\n", mode, *duration, len(shapes))
+		before, okBefore := scrapeMem(client, *addr)
 		sr := runStep(*addr, shapes, totalWeight, stepQPS, *concurrency, *maxInflight, *duration, *seed, int64(i), client)
+		if after, okAfter := scrapeMem(client, *addr); okBefore && okAfter {
+			mr := &memReport{
+				GCCycles:       after.gcCycles - before.gcCycles,
+				AllocBytes:     after.allocTotal - before.allocTotal,
+				HeapStartBytes: before.heapAlloc,
+				HeapEndBytes:   after.heapAlloc,
+			}
+			if sr.Requests > 0 {
+				mr.AllocBytesPerReq = float64(mr.AllocBytes) / float64(sr.Requests)
+			}
+			sr.ServerMemory = mr
+		}
 		sort.Slice(sr.PerMix, func(i, j int) bool { return sr.PerMix[i].Name < sr.PerMix[j].Name })
 		rep.Steps = append(rep.Steps, sr)
 		fmt.Fprintf(os.Stderr, "dftp-loadgen:   %d reqs, %.1f qps, hit %.2f shed %.2f, client p50/p95/p99 = %.2f/%.2f/%.2f ms\n",
 			sr.Requests, sr.AchievedQPS, sr.HitRate, sr.ShedRate,
 			sr.ClientLatency.P50Ms, sr.ClientLatency.P95Ms, sr.ClientLatency.P99Ms)
+		if sr.ServerMemory != nil {
+			fmt.Fprintf(os.Stderr, "dftp-loadgen:   server: %d GC cycles, %.1f MB allocated (%.0f B/req), heap %.1f -> %.1f MB\n",
+				sr.ServerMemory.GCCycles, float64(sr.ServerMemory.AllocBytes)/1e6, sr.ServerMemory.AllocBytesPerReq,
+				float64(sr.ServerMemory.HeapStartBytes)/1e6, float64(sr.ServerMemory.HeapEndBytes)/1e6)
+		}
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 
+	"freezetag/internal/arena"
 	"freezetag/internal/diskgraph"
 	"freezetag/internal/geom"
 	"freezetag/internal/instance"
@@ -136,7 +137,19 @@ func SolveCtx(ctx context.Context, alg Algorithm, inst *instance.Instance, tup T
 // travel times divide by speed and private capacities cap energy; budget
 // stays the uniform fallback for robots without a capacity of their own.
 func SolveIn(ctx context.Context, m geom.Metric, alg Algorithm, inst *instance.Instance, tup Tuple, budget float64, traceFn func(sim.Event)) (sim.Result, *Report, error) {
-	e := sim.NewEngine(sim.Config{
+	return SolveArena(ctx, nil, m, alg, inst, tup, budget, traceFn)
+}
+
+// SolveArena is SolveIn running on the worker arena ar: the simulation
+// engine (robot block, spatial indexes, process-goroutine pool, algorithm
+// scratch) is checked out of the arena and reset against inst instead of
+// being rebuilt, so a steady stream of same-shape jobs simulates without
+// allocating. A nil arena degrades to a fresh one-shot engine. The result
+// and report are bit-identical to SolveIn's either way, but everything they
+// reference is invalidated by the arena's next job — callers marshal within
+// the job, which the serving tier does.
+func SolveArena(ctx context.Context, ar *arena.Arena, m geom.Metric, alg Algorithm, inst *instance.Instance, tup Tuple, budget float64, traceFn func(sim.Event)) (sim.Result, *Report, error) {
+	e := sim.NewEngineIn(ar, sim.Config{
 		Source:   inst.Source,
 		Sleepers: inst.Points,
 		Budget:   budget,

@@ -46,6 +46,13 @@ func PlanRectIn(m geom.Metric, r geom.Rect) Plan {
 }
 
 func planRectPitch(r geom.Rect, pitch float64) Plan {
+	return planRectInto(r, pitch, nil)
+}
+
+// planRectInto is planRectPitch writing the stop lattice into the provided
+// buffer when it is large enough (the arena-backed serving path feeds it
+// pooled buffers); the emitted stops are bit-identical either way.
+func planRectInto(r geom.Rect, pitch float64, stops []geom.Point) Plan {
 	w, h := r.Width(), r.Height()
 	nx := int(math.Ceil(w / pitch))
 	if nx < 1 {
@@ -56,7 +63,11 @@ func planRectPitch(r geom.Rect, pitch float64) Plan {
 		ny = 1
 	}
 	dx, dy := w/float64(nx), h/float64(ny)
-	stops := make([]geom.Point, 0, nx*ny)
+	if cap(stops) < nx*ny {
+		stops = make([]geom.Point, 0, nx*ny)
+	} else {
+		stops = stops[:0]
+	}
 	for row := 0; row < ny; row++ {
 		y := r.Min.Y + (float64(row)+0.5)*dy
 		for col := 0; col < nx; col++ {
@@ -121,6 +132,56 @@ func newResult() *Result {
 	return &Result{Asleep: make(map[int]geom.Point), AwakeSeen: make(map[int]geom.Point)}
 }
 
+// rectScratch is the per-engine exploration pool: recycled Results (their
+// maps keep capacity; they are cleared on checkout) and stop-lattice
+// buffers checked out for the duration of one plan. It lives in the
+// engine's scratch stash, so a pooled engine's repeated runs settle into
+// allocation-free exploration.
+type rectScratch struct {
+	resFree  []*Result
+	stopFree [][]geom.Point
+	// keyseq disambiguates solo-sweep barrier keys (several explorations can
+	// share an (ID, Now) pair). A counter rather than a pointer address: %p
+	// of a local would force the local to heap on every call, traced or not.
+	keyseq uint64
+}
+
+func scratchOf(e *sim.Engine) *rectScratch {
+	return sim.ScratchOf(e, "explore.rect", func() *rectScratch { return &rectScratch{} })
+}
+
+func (sc *rectScratch) getResult() *Result {
+	if n := len(sc.resFree); n > 0 {
+		res := sc.resFree[n-1]
+		sc.resFree = sc.resFree[:n-1]
+		clear(res.Asleep)
+		clear(res.AwakeSeen)
+		return res
+	}
+	return newResult()
+}
+
+func (sc *rectScratch) getStops() []geom.Point {
+	if n := len(sc.stopFree); n > 0 {
+		s := sc.stopFree[n-1]
+		sc.stopFree = sc.stopFree[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+// Recycle returns a Result obtained from Rect to the engine's exploration
+// pool. Callers that are done with a result — typically right after copying
+// the sightings they need — recycle it so the next exploration reuses its
+// maps; the result must not be used after.
+func Recycle(p *sim.Proc, res *Result) {
+	if res == nil {
+		return
+	}
+	sc := scratchOf(p.Engine())
+	sc.resFree = append(sc.resFree, res)
+}
+
 func (res *Result) absorb(snap sim.Snapshot) {
 	for _, s := range snap.Asleep {
 		res.Asleep[s.ID] = s.Pos
@@ -152,8 +213,32 @@ func runPlan(p *sim.Proc, pl Plan, dest geom.Point, res *Result) error {
 // Team members must be awake and co-located with the caller; they run
 // temporary processes and are passive again (parked at dest) on return.
 func Rect(p *sim.Proc, memberIDs []int, r geom.Rect, dest geom.Point) (*Result, error) {
-	k := 1 + len(memberIDs)
 	metric := p.Engine().Metric()
+	if len(memberIDs) == 0 {
+		// Lemma 1 with k = 1 degenerates to a single sweep of r itself
+		// (HStrips(1) returns r bit-for-bit), and a one-party barrier
+		// releases its arriver immediately, so its only observable effect is
+		// the trace event. The solo path therefore plans straight over r out
+		// of the engine's pooled buffers and touches the barrier machinery
+		// only when a trace sink is listening; stops and looks are
+		// bit-identical to the general path.
+		e := p.Engine()
+		sc := scratchOf(e)
+		res := sc.getResult()
+		var key string
+		if e.Tracing() {
+			sc.keyseq++
+			key = fmt.Sprintf("explore/%d/%.9f/%d", p.ID(), p.Now(), sc.keyseq)
+		}
+		pl := planRectInto(r, geom.MetricOrL2(metric).InscribedSquare(), sc.getStops())
+		err := runPlan(p, pl, dest, res)
+		sc.stopFree = append(sc.stopFree, pl.Stops)
+		if e.Tracing() {
+			p.Barrier(key, 1)
+		}
+		return res, err
+	}
+	k := 1 + len(memberIDs)
 	strips := r.HStrips(k)
 	key := fmt.Sprintf("explore/%d/%.9f/%p", p.ID(), p.Now(), &strips)
 	results := make([]*Result, k)

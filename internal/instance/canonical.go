@@ -4,11 +4,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"io"
 	"math"
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync"
 
 	"freezetag/internal/geom"
 )
@@ -41,43 +41,64 @@ const (
 	canonVersionV3 = "dftp-request/v3"
 )
 
-// canonFloat formats f for the canonical encoding: exact (hex mantissa, no
+// canonFloat appends f's canonical form to b: exact (hex mantissa, no
 // rounding ambiguity), with -0 normalized to 0 so the two IEEE zeros hash
-// identically.
-func canonFloat(f float64) string {
+// identically. Append-based because the hot caller (HashRequestIn via the
+// serving tier) encodes thousands of floats per request; a string-returning
+// formatter would allocate every one of them.
+func canonFloat(b []byte, f float64) []byte {
 	if f == 0 { // catches -0.0 too
 		f = 0
 	}
 	if math.IsNaN(f) {
-		return "nan"
+		return append(b, "nan"...)
 	}
-	return strconv.FormatFloat(f, 'x', -1, 64)
+	return strconv.AppendFloat(b, f, 'x', -1, 64)
 }
 
-// appendCanonical writes the instance's canonical encoding: name, source,
+// appendCanonical appends the instance's canonical encoding: name, source,
 // then the points in stored order, then (heterogeneous instances only) the
 // profiles in the same order. Point order is intentionally significant —
 // robot ids are positional, so reordering points is a different instance —
 // and so is profile order, since Profiles[i] belongs to Points[i].
 // Capacities ≤ 0 all mean "inherit the uniform budget" and encode as 0,
-// mirroring the budget normalization.
-func (in *Instance) appendCanonical(w io.Writer) {
-	fmt.Fprintf(w, "name=%q\n", in.Name)
-	fmt.Fprintf(w, "source=%s,%s\n", canonFloat(in.Source.X), canonFloat(in.Source.Y))
-	fmt.Fprintf(w, "points=%d\n", len(in.Points))
+// mirroring the budget normalization. strconv.AppendQuote is fmt's own %q
+// (fmt delegates to strconv.Quote), so the bytes match the historical
+// Fprintf-built encoding exactly.
+func (in *Instance) appendCanonical(b []byte) []byte {
+	b = append(b, "name="...)
+	b = strconv.AppendQuote(b, in.Name)
+	b = append(b, "\nsource="...)
+	b = canonFloat(b, in.Source.X)
+	b = append(b, ',')
+	b = canonFloat(b, in.Source.Y)
+	b = append(b, "\npoints="...)
+	b = strconv.AppendInt(b, int64(len(in.Points)), 10)
+	b = append(b, '\n')
 	for _, p := range in.Points {
-		fmt.Fprintf(w, "p=%s,%s\n", canonFloat(p.X), canonFloat(p.Y))
+		b = append(b, "p="...)
+		b = canonFloat(b, p.X)
+		b = append(b, ',')
+		b = canonFloat(b, p.Y)
+		b = append(b, '\n')
 	}
 	if len(in.Profiles) > 0 {
-		fmt.Fprintf(w, "profiles=%d\n", len(in.Profiles))
+		b = append(b, "profiles="...)
+		b = strconv.AppendInt(b, int64(len(in.Profiles)), 10)
+		b = append(b, '\n')
 		for _, pr := range in.Profiles {
 			cap := pr.Capacity
 			if cap <= 0 {
 				cap = 0
 			}
-			fmt.Fprintf(w, "f=%s,%s\n", canonFloat(pr.Speed), canonFloat(cap))
+			b = append(b, "f="...)
+			b = canonFloat(b, pr.Speed)
+			b = append(b, ',')
+			b = canonFloat(b, cap)
+			b = append(b, '\n')
 		}
 	}
+	return b
 }
 
 // HashRequest returns the content-addressed key of a Euclidean solve
@@ -97,27 +118,54 @@ func HashRequest(algorithm string, in *Instance, ell, rho float64, n int, budget
 // an explicit metric line (ℓ2 included) and the profile lines appended by
 // appendCanonical; they can never alias a homogeneous hash because the
 // version line differs.
+// canonBufPool recycles the canonical-encoding scratch across requests. The
+// encoding is built fully in one buffer and hashed with sha256.Sum256 (stack
+// digest, stack sum), so a steady request stream pays exactly one allocation
+// per hash: the returned hex string itself.
+var canonBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
 func HashRequestIn(m geom.Metric, algorithm string, in *Instance, ell, rho float64, n int, budget float64) string {
 	if budget <= 0 {
 		budget = 0
 	}
-	h := sha256.New()
+	bp := canonBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
 	if len(in.Profiles) > 0 {
-		fmt.Fprintf(h, "%s\n", canonVersionV3)
-		fmt.Fprintf(h, "alg=%s\n", algorithm)
-		fmt.Fprintf(h, "metric=%s\n", geom.MetricOrL2(m).Name())
+		b = append(b, canonVersionV3...)
+		b = append(b, "\nalg="...)
+		b = append(b, algorithm...)
+		b = append(b, "\nmetric="...)
+		b = append(b, geom.MetricOrL2(m).Name()...)
+		b = append(b, '\n')
 	} else if geom.IsL2(m) {
-		fmt.Fprintf(h, "%s\n", canonVersion)
-		fmt.Fprintf(h, "alg=%s\n", algorithm)
+		b = append(b, canonVersion...)
+		b = append(b, "\nalg="...)
+		b = append(b, algorithm...)
+		b = append(b, '\n')
 	} else {
-		fmt.Fprintf(h, "%s\n", canonVersionV2)
-		fmt.Fprintf(h, "alg=%s\n", algorithm)
-		fmt.Fprintf(h, "metric=%s\n", m.Name())
+		b = append(b, canonVersionV2...)
+		b = append(b, "\nalg="...)
+		b = append(b, algorithm...)
+		b = append(b, "\nmetric="...)
+		b = append(b, m.Name()...)
+		b = append(b, '\n')
 	}
-	fmt.Fprintf(h, "tuple=%s,%s,%d\n", canonFloat(ell), canonFloat(rho), n)
-	fmt.Fprintf(h, "budget=%s\n", canonFloat(budget))
-	in.appendCanonical(h)
-	return hex.EncodeToString(h.Sum(nil))
+	b = append(b, "tuple="...)
+	b = canonFloat(b, ell)
+	b = append(b, ',')
+	b = canonFloat(b, rho)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, "\nbudget="...)
+	b = canonFloat(b, budget)
+	b = append(b, '\n')
+	b = in.appendCanonical(b)
+	sum := sha256.Sum256(b)
+	*bp = b
+	canonBufPool.Put(bp)
+	var hx [2 * sha256.Size]byte
+	hex.Encode(hx[:], sum[:])
+	return string(hx[:])
 }
 
 // FamilyNames lists the workload families Family accepts.

@@ -1,0 +1,73 @@
+//go:build !race
+
+// Allocation-regression gates for the serving hot paths. These are the CI
+// teeth behind the per-job arena work: the cache-hit path must stay
+// allocation-free apart from key scratch, and a steady-state solve — same
+// request shape, distinct budget, so the whole resolve → simulate → marshal
+// chain runs on the worker arena — must stay within a small fixed budget
+// (the pre-arena figure was ~2600 allocs per solve).
+//
+// Excluded under -race: the race runtime instruments allocations and breaks
+// AllocsPerRun accounting. CI runs this file in the non-race benchmark smoke
+// step instead.
+package service
+
+import (
+	"testing"
+)
+
+// TestAllocs_CacheHit gates the fully-warm path: request shape known, result
+// cached. Everything — shape key, memo probe, cache probe — must run on
+// stack or pooled storage; the only tolerated allocations are the key
+// scratch spill and metrics bookkeeping.
+func TestAllocs_CacheHit(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, DropTraces: true})
+	req := walkRequest(7)
+	if _, err := s.Solve(req); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		sv, err := s.Solve(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sv.Hit {
+			t.Fatal("expected a cache hit")
+		}
+	})
+	if allocs > 5 {
+		t.Fatalf("cache-hit path allocates %.1f allocs/op, budget is 5", allocs)
+	}
+}
+
+// TestAllocs_SteadyStateSolve gates the arena path: each iteration is a real
+// simulation (the budget changes, so neither cache nor memo can serve it),
+// but the request shape repeats, so the worker arena's engine, spatial
+// grids, wake-tree builder, and explore pools are all reused. Mirrors
+// BenchmarkService_SolveSteadyState; budget 50 versus ~2600 pre-arena.
+func TestAllocs_SteadyStateSolve(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, DropTraces: true, CacheBytes: 1, QueueDepth: 1})
+	req := walkRequest(7)
+	// Warm the arena: first runs of a shape grow the slabs and pools.
+	for i := 0; i < 3; i++ {
+		req.Budget = 2e6 + float64(i)
+		if _, err := s.Solve(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	budget := 1e6
+	allocs := testing.AllocsPerRun(100, func() {
+		budget++
+		req.Budget = budget
+		sv, err := s.Solve(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sv.Hit {
+			t.Fatal("steady-state iteration unexpectedly served from cache")
+		}
+	})
+	if allocs > 50 {
+		t.Fatalf("steady-state solve allocates %.1f allocs/op, budget is 50", allocs)
+	}
+}

@@ -1,10 +1,10 @@
 package service
 
 import (
-	"container/list"
 	"unsafe"
 
 	"freezetag/internal/dftp"
+	"freezetag/internal/instance"
 	"freezetag/internal/sim"
 )
 
@@ -20,7 +20,7 @@ type entry struct {
 }
 
 // entryOverhead approximates per-entry bookkeeping outside the payload:
-// list element, map bucket share, entry struct, slice headers.
+// list node, map bucket share, entry struct, slice headers.
 const entryOverhead = 256
 
 // sized computes and stores the entry's approximate retained bytes: body +
@@ -45,56 +45,124 @@ func (e *entry) sized() *entry {
 // — a cache that silently never stores — would disable idempotent replies
 // entirely). Not safe for concurrent use; the Service serializes access
 // under its mutex.
+//
+// The list is intrusive — nodes link each other directly — and evicted
+// nodes park on a freelist for reuse, so a full cache in steady state
+// (every add evicts) moves no garbage beyond the evicted values themselves.
+// Hot-path lookups take the key as bytes (getBytes) so callers can probe
+// with a stack-built key and only materialize a string on the miss path.
 type lru[V any] struct {
-	capacity int64
-	total    int64
-	sizeOf   func(V) int64
-	ll       *list.List // front = most recently used
-	m        map[string]*list.Element
+	capacity   int64
+	total      int64
+	count      int
+	sizeOf     func(V) int64
+	m          map[string]*lruNode[V]
+	head, tail *lruNode[V] // head = most recently used
+	free       *lruNode[V] // evicted nodes, chained via next
 }
 
 type lruNode[V any] struct {
-	key string
-	val V
+	key        string
+	val        V
+	prev, next *lruNode[V]
 }
 
 func newCache[V any](capacity int64, sizeOf func(V) int64) *lru[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &lru[V]{capacity: capacity, sizeOf: sizeOf, ll: list.New(), m: make(map[string]*list.Element)}
+	return &lru[V]{capacity: capacity, sizeOf: sizeOf, m: make(map[string]*lruNode[V])}
+}
+
+// unlink removes n from the use-order list (it stays in the map).
+func (c *lru[V]) unlink(n *lruNode[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// toFront makes n the most recently used node.
+func (c *lru[V]) toFront(n *lruNode[V]) {
+	if c.head == n {
+		return
+	}
+	if n.prev != nil || n.next != nil || c.tail == n {
+		c.unlink(n)
+	}
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
 }
 
 func (c *lru[V]) get(key string) (V, bool) {
-	el, ok := c.m[key]
+	n, ok := c.m[key]
 	if !ok {
 		var zero V
 		return zero, false
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*lruNode[V]).val, true
+	c.toFront(n)
+	return n.val, true
+}
+
+// getBytes is get with the key passed as bytes: the map lookup compiles to
+// the no-copy string-key form, so probing with a scratch-built key does not
+// allocate. The key string is only needed when the caller goes on to add.
+func (c *lru[V]) getBytes(key []byte) (V, bool) {
+	n, ok := c.m[string(key)]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.toFront(n)
+	return n.val, true
 }
 
 func (c *lru[V]) add(key string, val V) {
-	if el, ok := c.m[key]; ok {
-		node := el.Value.(*lruNode[V])
-		c.total += c.sizeOf(val) - c.sizeOf(node.val)
-		node.val = val
-		c.ll.MoveToFront(el)
+	if n, ok := c.m[key]; ok {
+		c.total += c.sizeOf(val) - c.sizeOf(n.val)
+		n.val = val
+		c.toFront(n)
 	} else {
-		c.m[key] = c.ll.PushFront(&lruNode[V]{key: key, val: val})
+		n := c.free
+		if n != nil {
+			c.free = n.next
+			n.next = nil
+		} else {
+			n = &lruNode[V]{}
+		}
+		n.key, n.val = key, val
+		c.m[key] = n
+		c.toFront(n)
 		c.total += c.sizeOf(val)
+		c.count++
 	}
-	for c.total > c.capacity && c.ll.Len() > 1 {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		node := oldest.Value.(*lruNode[V])
-		delete(c.m, node.key)
-		c.total -= c.sizeOf(node.val)
+	for c.total > c.capacity && c.count > 1 {
+		oldest := c.tail
+		c.unlink(oldest)
+		delete(c.m, oldest.key)
+		c.total -= c.sizeOf(oldest.val)
+		c.count--
+		var zero V
+		oldest.key, oldest.val = "", zero // release for GC before parking
+		oldest.next = c.free
+		c.free = oldest
 	}
 }
 
-func (c *lru[V]) len() int { return c.ll.Len() }
+func (c *lru[V]) len() int { return c.count }
 
 // newLRU builds the result cache: an LRU over request hashes bounded by
 // approximate retained bytes, not entry count — a handful of huge traced
@@ -113,11 +181,22 @@ func newMemoLRU(capacity int) *lru[string] {
 	return newCache(int64(capacity), func(string) int64 { return 1 })
 }
 
-// newParamsLRU builds the family-shape → derived-tuple memo: the (ℓ*, ρ*)
-// derivation is the expensive half of a family request's cold path and
-// depends only on (metric, family, n, param, seed), so repeats of the same
-// family shape — under any algorithm, objective, or budget — skip it.
-// Entry-count bounded: entries are a short string and three scalars.
-func newParamsLRU(capacity int) *lru[dftp.Tuple] {
-	return newCache(int64(capacity), func(dftp.Tuple) int64 { return 1 })
+// paramsMemo is one family shape's memoized derivation: the admissible
+// tuple and the generated instance itself. The instance is immutable once
+// built (request-level profiles are applied copy-on-write downstream), so
+// sharing one *Instance across every job of the same shape is safe and
+// turns the steady-state resolve into two map lookups.
+type paramsMemo struct {
+	tup  dftp.Tuple
+	inst *instance.Instance
+}
+
+// newParamsLRU builds the family-shape → derivation memo: generating the
+// point set and deriving (ℓ*, ρ*) are the expensive half of a family
+// request's cold path and depend only on (metric, family, n, param, seed),
+// so repeats of the same family shape — under any algorithm, objective, or
+// budget — skip both. Entry-count bounded: entries are a short string, three
+// scalars, and a shared instance pointer.
+func newParamsLRU(capacity int) *lru[paramsMemo] {
+	return newCache(int64(capacity), func(paramsMemo) int64 { return 1 })
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 	"sync"
@@ -293,6 +294,16 @@ func (s *Service) handleStatsz(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
+	// Allocation-pressure gauges for load tooling (dftp-loadgen diffs these
+	// across a load step to report GC cycles and bytes allocated alongside
+	// its latency curves). Read directly per scrape rather than registered:
+	// ReadMemStats is too expensive to sample on the request path, and
+	// scrapes are rare.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP go_gc_cycles_total Completed GC cycles.\n# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "# HELP go_heap_alloc_bytes Live heap bytes.\n# TYPE go_heap_alloc_bytes gauge\ngo_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP go_alloc_bytes_total Cumulative bytes allocated on the heap.\n# TYPE go_alloc_bytes_total counter\ngo_alloc_bytes_total %d\n", ms.TotalAlloc)
 }
 
 // BuildInfo is the /buildz payload: enough to identify a running binary

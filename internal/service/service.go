@@ -23,10 +23,11 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 
+	"freezetag/internal/arena"
 	"freezetag/internal/dftp"
 	"freezetag/internal/geom"
 	"freezetag/internal/instance"
@@ -161,7 +162,12 @@ type job struct {
 	width    int
 	enqueued time.Time
 	call     *call
-	run      func(*stageTimes) (*entry, error)
+	// run executes the job on a worker. The arena is the executing worker's
+	// per-slot scratch (reset between jobs, never shared): simulation jobs
+	// check their whole engine out of it, so repeat shapes solve without
+	// allocating. Jobs that can't use it (portfolio races run k engines on
+	// racer goroutines) simply ignore it.
+	run func(*stageTimes, *arena.Arena) (*entry, error)
 }
 
 // stageTimes is the worker-side half of a request's stage breakdown: the
@@ -201,7 +207,7 @@ type Service struct {
 	mu       sync.Mutex
 	cache    *lru[*entry]
 	shapes   *lru[string]
-	params   *lru[dftp.Tuple]
+	params   *lru[paramsMemo]
 	inflight map[string]*call
 	closed   bool
 	// queueWeight is the admitted-but-uncompleted effective slot count
@@ -542,14 +548,36 @@ func parseMetric(s string) (geom.Metric, error) {
 func (s *Service) resolveInstance(m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64, profiles []instance.Profile) (*instance.Instance, dftp.Tuple, float64, error) {
 	var tup dftp.Tuple
 	inst := inline
+	var memoKey []byte
+	var haveKey, memoHit bool
+	var famInst *instance.Instance
 	if inst == nil {
 		if family == "" {
 			return nil, tup, 0, fmt.Errorf("%w: request needs an inline instance or a family", ErrBadRequest)
 		}
-		var err error
-		inst, err = instance.Family(family, n, param, seed)
-		if err != nil {
-			return nil, tup, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		// Memo-first: a known family shape yields both its generated instance
+		// and its derived tuple from one map lookup, skipping generation and
+		// the O(n²) parameter derivation entirely. The memoized instance is
+		// the pristine generator output — request profiles are applied
+		// copy-on-write below, never to the shared pointer.
+		var pkb [96]byte
+		if key, ok := paramsKey(pkb[:0], m, inline, family, n, param, seed); ok {
+			memoKey, haveKey = key, true
+			s.mu.Lock()
+			memo, hit := s.params.getBytes(key)
+			s.mu.Unlock()
+			if hit {
+				memoHit = true
+				inst, tup = memo.inst, memo.tup
+			}
+		}
+		if inst == nil {
+			var err error
+			inst, err = instance.Family(family, n, param, seed)
+			if err != nil {
+				return nil, tup, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			famInst = inst
 		}
 	} else if len(inst.Points) == 0 {
 		return nil, tup, 0, fmt.Errorf("%w: inline instance has no points", ErrBadRequest)
@@ -569,21 +597,15 @@ func (s *Service) resolveInstance(m geom.Metric, inline *instance.Instance, fami
 			return nil, tup, 0, fmt.Errorf("%w: tuple (ℓ=%g, ρ=%g, n=%d) is not admissible (need 0 < ℓ ≤ ρ ≤ nℓ)",
 				ErrBadRequest, tup.Ell, tup.Rho, tup.N)
 		}
-	} else if key, ok := paramsKey(m, inline, family, n, param, seed); ok {
-		s.mu.Lock()
-		memo, hit := s.params.get(key)
-		s.mu.Unlock()
-		if hit {
-			s.paramsMemoHits.Add(1)
-			tup = memo
-		} else {
-			tup = dftp.TupleForIn(m, inst)
-			s.mu.Lock()
-			s.params.add(key, tup)
-			s.mu.Unlock()
-		}
+	} else if memoHit {
+		s.paramsMemoHits.Add(1)
 	} else {
 		tup = dftp.TupleForIn(m, inst)
+		if haveKey && famInst != nil {
+			s.mu.Lock()
+			s.params.add(string(memoKey), paramsMemo{tup: tup, inst: famInst})
+			s.mu.Unlock()
+		}
 	}
 	if budget < 0 {
 		budget = 0
@@ -597,12 +619,37 @@ func (s *Service) resolveInstance(m geom.Metric, inline *instance.Instance, fami
 // deliberately absent — they don't affect the derivation. Inline instances
 // are not memoized (deriving their key would walk the points, which is the
 // work the memo saves).
-func paramsKey(m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64) (string, bool) {
-	if inline != nil || family == "" {
-		return "", false
+// Key builders append into a caller-provided buffer (typically a stack
+// array) so the steady-state probe path — build key, getBytes — allocates
+// nothing; the key is materialized as a string only when it is actually
+// stored. appendLower is an ASCII strings.ToLower: family names are ASCII by
+// construction (non-ASCII spellings fail family validation before any key is
+// ever stored, so their keys can never be observed).
+func appendLower(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b = append(b, c)
 	}
-	return fmt.Sprintf("%s|%s|%d|%x|%d", geom.MetricOrL2(m).Name(), strings.ToLower(family), n,
-		math.Float64bits(param), seed), true
+	return b
+}
+
+func paramsKey(b []byte, m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64) ([]byte, bool) {
+	if inline != nil || family == "" {
+		return nil, false
+	}
+	b = append(b, geom.MetricOrL2(m).Name()...)
+	b = append(b, '|')
+	b = appendLower(b, family)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, math.Float64bits(param), 16)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, seed, 10)
+	return b, true
 }
 
 // shapeKey is the memo key of a family-generated request: every scalar that
@@ -612,26 +659,45 @@ func paramsKey(m geom.Metric, inline *instance.Instance, family string, n int, p
 // points, so there is nothing to save). Family-modifier profiles need no
 // extra key material: they are a deterministic function of the family
 // string, which is already in the key.
-func shapeKey(solverName string, m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64, profiles []instance.Profile) (string, bool) {
+func shapeKey(b []byte, solverName string, m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64, profiles []instance.Profile) ([]byte, bool) {
 	if inline != nil || family == "" {
-		return "", false
+		return nil, false
 	}
 	if budget <= 0 {
 		budget = 0
 	}
-	key := fmt.Sprintf("%s|%s|%s|%d|%x|%d|%x", solverName, geom.MetricOrL2(m).Name(), strings.ToLower(family), n,
-		math.Float64bits(param), seed, math.Float64bits(budget))
+	b = append(b, solverName...)
+	b = append(b, '|')
+	b = append(b, geom.MetricOrL2(m).Name()...)
+	b = append(b, '|')
+	b = appendLower(b, family)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, math.Float64bits(param), 16)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, seed, 10)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, math.Float64bits(budget), 16)
 	if tupJSON != nil {
-		key += fmt.Sprintf("|t%x,%x,%d", math.Float64bits(tupJSON.Ell), math.Float64bits(tupJSON.Rho), tupJSON.N)
+		b = append(b, "|t"...)
+		b = strconv.AppendUint(b, math.Float64bits(tupJSON.Ell), 16)
+		b = append(b, ',')
+		b = strconv.AppendUint(b, math.Float64bits(tupJSON.Rho), 16)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(tupJSON.N), 10)
 	}
 	for _, p := range profiles {
 		cap := p.Capacity
 		if cap <= 0 {
 			cap = 0 // same normalization as the canonical encoding
 		}
-		key += fmt.Sprintf("|f%x,%x", math.Float64bits(p.Speed), math.Float64bits(cap))
+		b = append(b, "|f"...)
+		b = strconv.AppendUint(b, math.Float64bits(p.Speed), 16)
+		b = append(b, ',')
+		b = strconv.AppendUint(b, math.Float64bits(cap), 16)
 	}
-	return key, true
+	return b, true
 }
 
 // resolved is a solve request after validation: concrete algorithm, metric,
@@ -751,7 +817,8 @@ func (s *Service) SolveTraced(topt TraceOpt, req SolveRequest) (Solved, error) {
 		return s.finish("solve", s.durSolve, Solved{Resolve: sp.Mark("resolve")}, &sp, topt, err)
 	}
 	s.countShape("solve", alg.Name(), geom.MetricOrL2(m).Name())
-	key, keyed := shapeKey(alg.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
+	var kb [128]byte
+	key, keyed := shapeKey(kb[:0], alg.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
 			sv.Resolve = sp.Mark("resolve")
@@ -763,7 +830,7 @@ func (s *Service) SolveTraced(topt TraceOpt, req SolveRequest) (Solved, error) {
 	if err != nil {
 		return s.finish("solve", s.durSolve, Solved{Resolve: resolveDur}, &sp, topt, err)
 	}
-	run := func(ts *stageTimes) (*entry, error) {
+	run := func(ts *stageTimes, ar *arena.Arena) (*entry, error) {
 		rsp := obs.StartSpan()
 		var rec *trace.Recorder
 		var traceFn func(sim.Event)
@@ -771,7 +838,7 @@ func (s *Service) SolveTraced(topt TraceOpt, req SolveRequest) (Solved, error) {
 			rec = trace.New()
 			traceFn = rec.Record
 		}
-		res, rep, err := dftp.SolveIn(context.Background(), r.metric, r.alg, r.inst, r.tup, r.budget, traceFn)
+		res, rep, err := dftp.SolveArena(context.Background(), ar, r.metric, r.alg, r.inst, r.tup, r.budget, traceFn)
 		ts.sim = rsp.Mark("sim")
 		s.stageSim.Record(ts.sim.Seconds())
 		s.solves.Add(1)
@@ -791,7 +858,7 @@ func (s *Service) SolveTraced(topt TraceOpt, req SolveRequest) (Solved, error) {
 		}
 		return ent.sized(), nil
 	}
-	sv, err := s.startOrJoin(r.hash, key, 1, run)
+	sv, err := s.startOrJoin(r.hash, string(key), 1, run)
 	sv.Resolve = resolveDur
 	return s.finish("solve", s.durSolve, sv, &sp, topt, err)
 }
@@ -857,7 +924,8 @@ func (s *Service) SolvePortfolioTraced(topt TraceOpt, req PortfolioRequest) (Sol
 		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: sp.Mark("resolve")}, &sp, topt, err)
 	}
 	s.countShape("portfolio", pf.Name(), geom.MetricOrL2(m).Name())
-	key, keyed := shapeKey(pf.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
+	var kb [128]byte
+	key, keyed := shapeKey(kb[:0], pf.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
 			sv.Resolve = sp.Mark("resolve")
@@ -869,7 +937,7 @@ func (s *Service) SolvePortfolioTraced(topt TraceOpt, req PortfolioRequest) (Sol
 	if err != nil {
 		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: resolveDur}, &sp, topt, err)
 	}
-	run := func(ts *stageTimes) (*entry, error) {
+	run := func(ts *stageTimes, _ *arena.Arena) (*entry, error) {
 		rsp := obs.StartSpan()
 		// With tracing enabled, tee the race's observations into the call
 		// so kept traces get per-racer child spans. Observe runs from racer
@@ -922,7 +990,7 @@ func (s *Service) SolvePortfolioTraced(topt TraceOpt, req PortfolioRequest) (Sol
 	if width > s.cfg.Workers {
 		width = s.cfg.Workers
 	}
-	sv, err := s.startOrJoin(r.hash, key, width, run)
+	sv, err := s.startOrJoin(r.hash, string(key), width, run)
 	sv.Resolve = resolveDur
 	return s.finish("portfolio", s.durPortfolio, sv, &sp, topt, err)
 }
@@ -931,13 +999,13 @@ func (s *Service) SolvePortfolioTraced(topt TraceOpt, req PortfolioRequest) (Sol
 // hit or an in-flight join, without materializing the instance. handled is
 // false when the caller must fall back to full resolution (unknown shape,
 // or known shape whose result has been evicted).
-func (s *Service) memoLookup(key string) (sv Solved, handled bool, err error) {
+func (s *Service) memoLookup(key []byte) (sv Solved, handled bool, err error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return Solved{}, true, ErrClosed
 	}
-	hash, ok := s.shapes.get(key)
+	hash, ok := s.shapes.getBytes(key)
 	if !ok {
 		s.mu.Unlock()
 		return Solved{}, false, nil
@@ -973,7 +1041,7 @@ func (s *Service) memoLookup(key string) (sv Solved, handled bool, err error) {
 // capped at QueueDepth+Workers (exactly the old queued+running limit when
 // every job has width 1), so k-entrant races reserve k effective slots and
 // shed under load like k solves would.
-func (s *Service) startOrJoin(hash, memoKey string, width int, run func(*stageTimes) (*entry, error)) (Solved, error) {
+func (s *Service) startOrJoin(hash, memoKey string, width int, run func(*stageTimes, *arena.Arena) (*entry, error)) (Solved, error) {
 	if width < 1 {
 		width = 1
 	}
@@ -1031,16 +1099,21 @@ func (s *Service) startOrJoin(hash, memoKey string, width int, run func(*stageTi
 }
 
 // worker runs queued jobs, stores the marshaled response in the cache, and
-// releases the single-flight waiters.
+// releases the single-flight waiters. Each worker owns one arena for its
+// whole life: the simulation substrate inside it is built by the first job
+// and reset — not reallocated — by every following one.
 func (s *Service) worker() {
 	defer s.wg.Done()
+	ar := arena.New("worker")
+	defer ar.Close()
 	for j := range s.jobs {
 		if s.cfg.preSolve != nil {
 			s.cfg.preSolve()
 		}
 		j.call.queue = time.Since(j.enqueued)
 		s.stageQueue.Record(j.call.queue.Seconds())
-		ent, err := j.run(&j.call.stageTimes)
+		ar.Reset()
+		ent, err := j.run(&j.call.stageTimes, ar)
 		s.mu.Lock()
 		if ent != nil {
 			s.cache.add(ent.hash, ent)

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 
+	"freezetag/internal/arena"
 	"freezetag/internal/geom"
 	"freezetag/internal/spatial"
 )
@@ -61,6 +62,7 @@ type Engine struct {
 	seq      int64
 	metric   geom.Metric
 	robots   []*Robot
+	block    []Robot // backing array of robots, reused across Reset
 	minSpeed float64 // slowest robot speed (source included); 1 when homogeneous
 	hetero   bool    // Config.Profiles was non-empty
 
@@ -95,6 +97,41 @@ type Engine struct {
 	lastWake    float64
 	violations  []string
 	running     bool
+
+	// pooled marks an engine owned by a worker arena (NewEngineIn): finished
+	// process goroutines park in procFree for reuse instead of exiting, and
+	// Reset rewinds the engine for the next instance. Directly constructed
+	// engines (NewEngine) keep the one-shot lifecycle: spawn, run, discard.
+	pooled   bool
+	procFree []*Proc
+	// sight backs every Look snapshot of the run; energyBuf backs
+	// Result.EnergyByRobot. Both are invalidated by Reset, which is safe
+	// because nothing built from a pooled run may outlive its job.
+	sight     arena.Slab[Sighting]
+	energyBuf []float64
+	// scratch holds per-algorithm reusable state keyed by algorithm name
+	// (see ScratchOf); values implementing RunScratch rewind on Reset.
+	scratch map[string]any
+}
+
+// RunScratch is implemented by scratch values that must rewind between runs;
+// Engine.Reset invokes it on every stashed scratch value that has it.
+type RunScratch interface{ ResetRun() }
+
+// ScratchOf returns the engine's scratch value under key, building it with mk
+// on first use. Algorithm installers use it to keep their round bookkeeping
+// (registries, reusable buffers, memoized closures) alive across the runs of
+// a pooled engine. A key reused at a different type panics.
+func ScratchOf[T any](e *Engine, key string, mk func() T) T {
+	if e.scratch == nil {
+		e.scratch = make(map[string]any)
+	}
+	if v, ok := e.scratch[key]; ok {
+		return v.(T)
+	}
+	v := mk()
+	e.scratch[key] = v
+	return v
 }
 
 type parkMsg struct {
@@ -183,7 +220,60 @@ type barrier struct {
 // spatial indexes, the event heap — is allocated up front in one block
 // each, so a simulation's steady state allocates only per-process resume
 // machinery and whatever the algorithm itself builds.
-func NewEngine(cfg Config) *Engine {
+func NewEngine(cfg Config) *Engine { return newEngine(cfg, false) }
+
+func newEngine(cfg Config, pooled bool) *Engine {
+	n := len(cfg.Sleepers)
+	metric := geom.MetricOrL2(cfg.Metric)
+	e := &Engine{
+		metric:   metric,
+		sleeping: spatial.NewGridInCap(metric, 1, n),
+		awake:    spatial.NewGridInCap(metric, 1, n+1),
+		pq:       make(eventHeap, 0, n+2),
+		park:     make(chan parkMsg),
+		barriers: make(map[string]*barrier),
+		parked:   make(map[*Proc]struct{}),
+		trace:    cfg.Trace,
+		pooled:   pooled,
+	}
+	e.populate(cfg)
+	return e
+}
+
+// NewEngineIn returns an engine backed by the worker arena a: the first call
+// builds a pooled engine and stashes it; later calls reset that engine
+// against the new configuration, so the whole simulation substrate — robot
+// block, spatial grids, event heap, process goroutines, algorithm scratch —
+// is reused across the jobs of one worker. A nil arena falls back to a
+// fresh one-shot NewEngine.
+func NewEngineIn(a *arena.Arena, cfg Config) *Engine {
+	if a == nil {
+		return NewEngine(cfg)
+	}
+	slot := arena.Of(a, "sim.engine", func() *engineSlot { return &engineSlot{} })
+	if slot.e == nil {
+		slot.e = newEngine(cfg, true)
+	} else {
+		slot.e.Reset(cfg)
+	}
+	return slot.e
+}
+
+// engineSlot is the arena stash entry for a pooled engine; the indirection
+// exists so arena.Close can release the engine's idle goroutine pool.
+type engineSlot struct{ e *Engine }
+
+func (s *engineSlot) Close() {
+	if s.e != nil {
+		s.e.Close()
+		s.e = nil
+	}
+}
+
+// populate loads cfg's robot population into an otherwise-clean engine. It
+// is the shared tail of newEngine and Reset; Reset reuses the robot block
+// and grid storage, so on a same-shape instance it allocates nothing.
+func (e *Engine) populate(cfg Config) {
 	budget := cfg.Budget
 	if budget <= 0 {
 		budget = math.Inf(1)
@@ -192,21 +282,16 @@ func NewEngine(cfg Config) *Engine {
 	if len(cfg.Profiles) != 0 && len(cfg.Profiles) != n {
 		panic(fmt.Sprintf("sim: %d profiles for %d sleepers", len(cfg.Profiles), n))
 	}
-	metric := geom.MetricOrL2(cfg.Metric)
-	e := &Engine{
-		metric:   metric,
-		minSpeed: 1,
-		hetero:   len(cfg.Profiles) > 0,
-		sleeping: spatial.NewGridInCap(metric, 1, n),
-		awake:    spatial.NewGridInCap(metric, 1, n+1),
-		pq:       make(eventHeap, 0, n+2),
-		park:     make(chan parkMsg),
-		barriers: make(map[string]*barrier),
-		parked:   make(map[*Proc]struct{}),
-		trace:    cfg.Trace,
+	e.minSpeed = 1
+	e.hetero = len(cfg.Profiles) > 0
+	if cap(e.block) < n+1 {
+		e.block = make([]Robot, n+1)
+		e.robots = make([]*Robot, n+1)
+	} else {
+		e.block = e.block[:n+1]
+		e.robots = e.robots[:n+1]
 	}
-	block := make([]Robot, n+1)
-	e.robots = make([]*Robot, n+1)
+	block := e.block
 	block[0] = Robot{id: SourceID, initPos: cfg.Source, pos: cfg.Source, state: Awake, budget: budget, speed: 1}
 	e.robots[0] = &block[0]
 	e.awake.Insert(SourceID, cfg.Source)
@@ -230,7 +315,49 @@ func NewEngine(cfg Config) *Engine {
 		}
 	}
 	e.asleepCount = n
-	return e
+}
+
+// Reset rewinds a pooled engine for a fresh run over cfg, reusing every
+// piece of run-sized storage: the robot block, both spatial grids, the event
+// heap, the Look slab, and all algorithm scratch (values implementing
+// RunScratch are rewound). The idle process-goroutine pool survives. Every
+// slice handed out by the previous run (Look snapshots, EnergyByRobot) is
+// invalidated.
+func (e *Engine) Reset(cfg Config) {
+	if !e.pooled {
+		panic("sim: Reset on a non-pooled engine")
+	}
+	metric := geom.MetricOrL2(cfg.Metric)
+	e.now = 0
+	e.seq = 0
+	e.metric = metric
+	e.sleeping.Reset(metric)
+	e.awake.Reset(metric)
+	e.pq = e.pq[:0]
+	clear(e.barriers)
+	clear(e.parked)
+	e.trace = cfg.Trace
+	e.steps, e.looks, e.moves = 0, 0, 0
+	e.lastWake = 0
+	e.violations = e.violations[:0]
+	e.running = false
+	e.sight.Reset()
+	for _, v := range e.scratch {
+		if r, ok := v.(RunScratch); ok {
+			r.ResetRun()
+		}
+	}
+	e.populate(cfg)
+}
+
+// Close terminates the engine's idle pooled goroutines. It is required (and
+// only meaningful) for pooled engines; arena teardown calls it via the
+// stashed engineSlot. The engine must not be run again after Close.
+func (e *Engine) Close() {
+	for _, p := range e.procFree {
+		e.kill(p)
+	}
+	e.procFree = e.procFree[:0]
 }
 
 // Now returns the current virtual time.
@@ -269,32 +396,48 @@ func (e *Engine) NumRobots() int { return len(e.robots) }
 // AsleepCount returns the number of robots still asleep.
 func (e *Engine) AsleepCount() int { return e.asleepCount }
 
+// Handler is the interface form of a process body. Converting a function to
+// a Handler via handlerFunc is allocation-free (func values are
+// pointer-shaped), and algorithm code with a hot wake path can implement
+// RunProc on a pooled struct to avoid capturing closures per wake.
+type Handler interface{ RunProc(*Proc) }
+
+// HandlerFunc adapts a plain function to Handler.
+type HandlerFunc func(*Proc)
+
+// RunProc implements Handler.
+func (f HandlerFunc) RunProc(p *Proc) { f(p) }
+
 // Spawn schedules fn to run as a new process on the given awake robot at the
 // current virtual time. It is the entry point for the source program and for
 // handlers attached to newly awakened robots.
-func (e *Engine) Spawn(id int, fn func(*Proc)) {
+func (e *Engine) Spawn(id int, fn func(*Proc)) { e.SpawnH(id, HandlerFunc(fn)) }
+
+// SpawnH is Spawn taking a Handler. On a pooled engine the process record
+// and its goroutine come from the free list when one is idle, so steady-
+// state spawning allocates nothing.
+func (e *Engine) SpawnH(id int, h Handler) {
 	r := e.Robot(id)
 	if r.state != Awake {
 		panic(fmt.Sprintf("sim: Spawn on non-awake robot %d", id))
 	}
-	p := &Proc{eng: e, r: r, resume: make(chan struct{})}
-	go func() {
-		defer func() {
-			if rec := recover(); rec != nil && rec != errKilled {
-				panic(rec)
-			}
-		}()
-		<-p.resume
-		if p.killed {
-			// Cancelled before the process ever ran; nothing to unwind.
-			return
-		}
-		fn(p)
-		e.park <- parkMsg{p: p, kind: parkDone}
-	}()
+	var p *Proc
+	if n := len(e.procFree); n > 0 {
+		p = e.procFree[n-1]
+		e.procFree = e.procFree[:n-1]
+		p.r = r
+		p.fn = h
+	} else {
+		p = &Proc{eng: e, r: r, resume: make(chan struct{}), fn: h}
+		go p.loop()
+	}
 	e.push(p, e.now)
 	e.emit(Event{T: e.now, Robot: id, Kind: "spawn", Pos: r.pos})
 }
+
+// Tracing reports whether the engine has a trace sink installed. Algorithm
+// code may use it to skip work whose only observable effect is trace events.
+func (e *Engine) Tracing() bool { return e.trace != nil }
 
 func (e *Engine) push(p *Proc, t float64) {
 	delete(e.parked, p)
@@ -394,6 +537,11 @@ func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 			e.parked[msg.p] = struct{}{}
 		case parkDone:
 			e.emit(Event{T: e.now, Robot: msg.p.r.id, Kind: "done", Pos: msg.p.r.pos})
+			if e.pooled {
+				// The goroutine is looping back to wait for its next body;
+				// the record rejoins the free list for the next SpawnH.
+				e.procFree = append(e.procFree, msg.p)
+			}
 		}
 	}
 	err := cancelErr
@@ -412,8 +560,8 @@ func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 		for p := range e.parked {
 			e.kill(p)
 		}
-		e.parked = make(map[*Proc]struct{})
-		e.barriers = make(map[string]*barrier)
+		clear(e.parked)
+		clear(e.barriers)
 	}
 	return e.result(), err
 }
@@ -426,12 +574,15 @@ func (e *Engine) kill(p *Proc) {
 }
 
 func (e *Engine) result() Result {
+	if cap(e.energyBuf) < len(e.robots) {
+		e.energyBuf = make([]float64, len(e.robots))
+	}
 	res := Result{
 		Makespan:      e.lastWake,
 		Duration:      e.now,
 		AllAwake:      e.asleepCount == 0,
 		Awakened:      len(e.robots) - 1 - e.asleepCount,
-		EnergyByRobot: make([]float64, len(e.robots)),
+		EnergyByRobot: e.energyBuf[:len(e.robots)],
 		Violations:    append([]string(nil), e.violations...),
 		Steps:         e.steps,
 		Looks:         e.looks,

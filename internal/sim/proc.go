@@ -14,13 +14,52 @@ type Proc struct {
 	eng    *Engine
 	r      *Robot
 	resume chan struct{}
-	killed bool // set by the engine to unwind a deadlocked process
+	killed bool    // set by the engine to unwind a deadlocked process
+	fn     Handler // body to run on next resume; cleared once started
 }
 
 // errKilled unwinds a process goroutine that the engine terminated while it
 // was parked: either on a barrier that can never release (deadlock shutdown
 // path) or anywhere at all after the run's context was cancelled (RunCtx).
 var errKilled = &struct{ s string }{"sim: process killed"}
+
+// loop is the process goroutine. On a pooled engine it survives the body:
+// after reporting parkDone it waits for the engine to hand it a new body via
+// SpawnH (the engine recycles the record through procFree). On a one-shot
+// engine it exits after a single body, preserving the original lifecycle. A
+// kill — before the body ever ran or anywhere inside it — always exits the
+// goroutine: a killed process's state is unknown, so it never rejoins the
+// pool.
+func (p *Proc) loop() {
+	for {
+		<-p.resume
+		if p.killed {
+			return
+		}
+		p.runOne()
+		if p.killed {
+			return
+		}
+		p.eng.park <- parkMsg{p: p, kind: parkDone}
+		if !p.eng.pooled {
+			return
+		}
+	}
+}
+
+// runOne executes the pending body, converting the errKilled unwind panic
+// back into a normal return (the caller checks p.killed); any other panic is
+// a genuine algorithm bug and propagates.
+func (p *Proc) runOne() {
+	defer func() {
+		if rec := recover(); rec != nil && rec != errKilled {
+			panic(rec)
+		}
+	}()
+	fn := p.fn
+	p.fn = nil
+	fn.RunProc(p)
+}
 
 // ID returns the robot id this process runs on.
 func (p *Proc) ID() int { return p.r.id }
@@ -156,19 +195,21 @@ type Sighting struct {
 // Look performs a discrete snapshot: all robots within metric distance 1 of
 // the caller, in ascending id order. The caller itself is excluded. The
 // engine-level queries below share one scratch buffer (each result is
-// consumed before the next query runs); the returned Snapshot owns its
-// slices, sized exactly, so callers may retain it.
+// consumed before the next query runs); the returned Snapshot's slices are
+// carved from the engine's run-lifetime sighting slab, so callers may retain
+// them for the rest of the run — they are invalidated only when a pooled
+// engine is Reset for its next job.
 func (p *Proc) Look() Snapshot {
 	p.eng.looks++
 	var snap Snapshot
 	if ids := p.eng.sleepingWithin(p.r.pos, 1); len(ids) > 0 {
-		snap.Asleep = make([]Sighting, 0, len(ids))
+		snap.Asleep = p.eng.sight.Take(len(ids))
 		for _, id := range ids {
 			snap.Asleep = append(snap.Asleep, Sighting{ID: id, Pos: p.eng.Robot(id).pos})
 		}
 	}
 	if ids := p.eng.awakeWithin(p.r.pos, 1); len(ids) > 0 {
-		snap.Awake = make([]Sighting, 0, len(ids)-1)
+		snap.Awake = p.eng.sight.Take(len(ids) - 1)
 		for _, id := range ids {
 			if id == p.r.id {
 				continue
@@ -186,6 +227,17 @@ func (p *Proc) Look() Snapshot {
 // leader). Wake panics if the robots are not co-located or the target is not
 // asleep — both are algorithm bugs, not runtime conditions.
 func (p *Proc) Wake(id int, handler func(*Proc)) {
+	if handler == nil {
+		p.WakeH(id, nil)
+		return
+	}
+	p.WakeH(id, HandlerFunc(handler))
+}
+
+// WakeH is Wake taking a Handler; the wake-tree propagation path uses it
+// with slab-pooled handlers so that fanning a wave across n robots does not
+// allocate n closures.
+func (p *Proc) WakeH(id int, handler Handler) {
 	r := p.eng.Robot(id)
 	if r.state != Asleep {
 		panic(fmt.Sprintf("sim: robot %d is not asleep", id))
@@ -196,7 +248,7 @@ func (p *Proc) Wake(id int, handler func(*Proc)) {
 	}
 	p.eng.wake(id)
 	if handler != nil {
-		p.eng.Spawn(id, handler)
+		p.eng.SpawnH(id, handler)
 	}
 }
 
@@ -263,6 +315,17 @@ func (p *Proc) Escort(ids []int, dst geom.Point) ([]int, error) {
 func (p *Proc) Barrier(key string, need int) {
 	if need <= 0 {
 		panic("sim: Barrier needs a positive count")
+	}
+	if need == 1 {
+		// A one-party barrier releases its sole arriver immediately; the
+		// general path below would build and tear down a barrier record for
+		// nothing. Only the count-mismatch check and the trace event are
+		// observable, so that is all this path does.
+		if b := p.eng.barriers[key]; b != nil {
+			panic(fmt.Sprintf("sim: Barrier %q count mismatch: %d vs %d", key, b.need, need))
+		}
+		p.eng.emit(Event{T: p.eng.now, Robot: p.r.id, Kind: "barrier", Pos: p.r.pos, Extra: key})
+		return
 	}
 	b := p.eng.barriers[key]
 	if b == nil {

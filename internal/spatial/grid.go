@@ -21,24 +21,89 @@ import (
 // axis-aligned square of half-width r because every supported metric
 // dominates the Chebyshev distance (see geom.Metric).
 //
-// Cells store their members as small slices and are retained (empty) when
-// their last member leaves, so an item oscillating between two cells — the
-// simulator's move loop — allocates nothing in steady state.
+// Cells store their members as parallel id/point slices, so query scans walk
+// contiguous points (and can hand whole cells to geom.DistBatch) instead of
+// chasing a map lookup per member. Cells are retained (empty) when their last
+// member leaves, so an item oscillating between two cells — the simulator's
+// move loop — allocates nothing in steady state.
 //
 // Grid is not safe for concurrent use; the simulator serializes all access.
 type Grid struct {
 	cell   float64
 	metric geom.Metric
 	euclid bool // cached IsL2(metric): keeps the Dist2 fast path branch cheap
+	batch  bool // geom.BatchAccelerated(metric): big cells go through DistBatch
 	items  map[int]geom.Point
-	cells  map[[2]int][]int
+	cells  map[[2]int]*gridCell
+	// dists is the DistBatch scratch for metric cell scans, grown to the
+	// largest cell ever scanned and reused across queries.
+	dists []float64
 	// Grow-only bounds of every cell that ever held an item: a constant-time
 	// upper bound on useful ring expansion in Nearest (stale-but-larger
 	// bounds only cost extra empty rings when no eligible item exists).
 	hasBounds    bool
 	minCX, maxCX int
 	minCY, maxCY int
+	// cellBlock bump-allocates gridCell structs in chunks, so an item
+	// sweeping across fresh territory (a racer engine's robots crossing
+	// thousands of never-seen cells) costs one allocation per block rather
+	// than one per cell. Handed-out pointers stay valid when a block fills:
+	// the full block is abandoned to the cells map and a fresh one started.
+	cellBlock []gridCell
+	// idBlock/ptBlock seed each new cell with a small capacity-clipped
+	// window carved from a shared array, so a cell's first members don't
+	// cost a slice allocation each. Appends past the window's capacity fall
+	// off into an ordinary grown slice; the three-index clip guarantees a
+	// growing cell can never overwrite its neighbour's window.
+	idBlock []int
+	ptBlock []geom.Point
 }
+
+// cellBlockSize is how many gridCell structs (and seed windows) each bump
+// block holds; cellSeedCap is the member capacity a fresh cell starts with.
+// Most cells a moving robot sweeps through hold one or two members at a
+// time, so the seed window absorbs the common case outright.
+const (
+	cellBlockSize = 256
+	cellSeedCap   = 2
+)
+
+// newCell hands out a zeroed cell from the bump blocks.
+func (g *Grid) newCell() *gridCell {
+	if len(g.cellBlock) == cap(g.cellBlock) {
+		g.cellBlock = make([]gridCell, 0, cellBlockSize)
+	}
+	g.cellBlock = g.cellBlock[:len(g.cellBlock)+1]
+	c := &g.cellBlock[len(g.cellBlock)-1]
+	if cap(g.idBlock)-len(g.idBlock) < cellSeedCap {
+		g.idBlock = make([]int, 0, cellBlockSize*cellSeedCap)
+	}
+	off := len(g.idBlock)
+	c.ids = g.idBlock[off : off : off+cellSeedCap]
+	g.idBlock = g.idBlock[:off+cellSeedCap]
+	if cap(g.ptBlock)-len(g.ptBlock) < cellSeedCap {
+		g.ptBlock = make([]geom.Point, 0, cellBlockSize*cellSeedCap)
+	}
+	off = len(g.ptBlock)
+	c.pts = g.ptBlock[off : off : off+cellSeedCap]
+	g.ptBlock = g.ptBlock[:off+cellSeedCap]
+	return c
+}
+
+// gridCell holds one cell's members as parallel slices: ids[i] sits at
+// pts[i]. The point copy is the whole optimization — scans read points
+// sequentially from the cell instead of indirecting through the item map.
+type gridCell struct {
+	ids []int
+	pts []geom.Point
+}
+
+// batchScanMin is the cell population below which metric scans stay on the
+// per-point path even when the metric is batch-accelerated: DistBatch's
+// dispatch and staging don't pay for themselves on near-empty cells (the
+// simulator's look cells typically hold a handful of robots). Either path
+// produces identical bits; this is purely a knob.
+const batchScanMin = 8
 
 // NewGrid builds an empty Euclidean grid with the given cell size. The cell
 // size should be of the order of the most common query radius; it must be
@@ -66,9 +131,31 @@ func NewGridInCap(m geom.Metric, cellSize float64, n int) *Grid {
 		cell:   cellSize,
 		metric: metric,
 		euclid: geom.IsL2(metric),
+		batch:  geom.BatchAccelerated(metric),
 		items:  make(map[int]geom.Point, n),
-		cells:  make(map[[2]int][]int, n),
+		cells:  make(map[[2]int]*gridCell, n),
 	}
+}
+
+// Reset empties the grid for reuse under metric m (nil defaults to ℓ2),
+// retaining all allocated storage: the item index, every cell's member
+// slices, and the batch scratch survive, so a simulation engine re-running
+// an instance of the same shape re-populates the grid without allocating.
+// Cells left empty by Reset are harmless to queries — they are skipped like
+// any other empty cell — and their capacity is exactly what the next run of
+// the same shape needs.
+func (g *Grid) Reset(m geom.Metric) {
+	metric := geom.MetricOrL2(m)
+	g.metric = metric
+	g.euclid = geom.IsL2(metric)
+	g.batch = geom.BatchAccelerated(metric)
+	clear(g.items)
+	for _, c := range g.cells {
+		c.ids = c.ids[:0]
+		c.pts = c.pts[:0]
+	}
+	g.hasBounds = false
+	g.minCX, g.maxCX, g.minCY, g.maxCY = 0, 0, 0, 0
 }
 
 // Len returns the number of indexed items.
@@ -91,7 +178,13 @@ func (g *Grid) Insert(id int, p geom.Point) {
 	}
 	g.items[id] = p
 	k := g.key(p)
-	g.cells[k] = append(g.cells[k], id)
+	c := g.cells[k]
+	if c == nil {
+		c = g.newCell()
+		g.cells[k] = c
+	}
+	c.ids = append(c.ids, id)
+	c.pts = append(c.pts, p)
 	if !g.hasBounds {
 		g.hasBounds = true
 		g.minCX, g.maxCX = k[0], k[0]
@@ -115,12 +208,17 @@ func (g *Grid) Remove(id int) {
 }
 
 func (g *Grid) removeFromCell(id int, p geom.Point) {
-	k := g.key(p)
-	c := g.cells[k]
-	for i, v := range c {
+	c := g.cells[g.key(p)]
+	if c == nil {
+		return
+	}
+	for i, v := range c.ids {
 		if v == id {
-			c[i] = c[len(c)-1]
-			g.cells[k] = c[:len(c)-1] // keep the empty slice for reuse
+			last := len(c.ids) - 1
+			c.ids[i] = c.ids[last]
+			c.pts[i] = c.pts[last]
+			c.ids = c.ids[:last] // keep the empty slices for reuse
+			c.pts = c.pts[:last]
 			return
 		}
 	}
@@ -131,6 +229,21 @@ func (g *Grid) At(id int) (geom.Point, bool) {
 	p, ok := g.items[id]
 	return p, ok
 }
+
+// cellDists fills g.dists with the metric distances from p to every member
+// of c via the batch kernel and returns the block.
+func (g *Grid) cellDists(p geom.Point, c *gridCell) []float64 {
+	if cap(g.dists) < len(c.pts) {
+		g.dists = make([]float64, len(c.pts)+lenSlack(len(c.pts)))
+	}
+	d := g.dists[:len(c.pts)]
+	geom.DistBatch(g.metric, p, c.pts, d)
+	return d
+}
+
+// lenSlack over-allocates scratch growth so a sequence of slightly-growing
+// cells settles after a few queries.
+func lenSlack(n int) int { return n/2 + 8 }
 
 // Within appends to dst the ids of all items within metric distance r of p
 // (closed ball, geom.Eps slack) and returns the extended slice. Results are
@@ -145,17 +258,33 @@ func (g *Grid) Within(dst []int, p geom.Point, r float64) []int {
 	minY := int(math.Floor((p.Y - r) / g.cell))
 	maxY := int(math.Floor((p.Y + r) / g.cell))
 	r2 := (r + geom.Eps) * (r + geom.Eps)
+	rEps := r + geom.Eps
 	for cx := minX; cx <= maxX; cx++ {
 		for cy := minY; cy <= maxY; cy++ {
-			for _, id := range g.cells[[2]int{cx, cy}] {
-				if g.euclid {
-					// Squared-distance fast path, bit-identical to the
-					// pre-metric grid.
-					if g.items[id].Dist2(p) <= r2 {
-						dst = append(dst, id)
+			c := g.cells[[2]int{cx, cy}]
+			if c == nil {
+				continue
+			}
+			switch {
+			case g.euclid:
+				// Squared-distance fast path, bit-identical to the
+				// pre-metric grid.
+				for i, q := range c.pts {
+					if q.Dist2(p) <= r2 {
+						dst = append(dst, c.ids[i])
 					}
-				} else if geom.WithinIn(g.metric, g.items[id], p, r) {
-					dst = append(dst, id)
+				}
+			case g.batch && len(c.pts) >= batchScanMin:
+				for i, d := range g.cellDists(p, c) {
+					if d <= rEps {
+						dst = append(dst, c.ids[i])
+					}
+				}
+			default:
+				for i, q := range c.pts {
+					if geom.WithinIn(g.metric, q, p, r) {
+						dst = append(dst, c.ids[i])
+					}
 				}
 			}
 		}
@@ -172,9 +301,13 @@ func (g *Grid) InRect(dst []int, r geom.Rect) []int {
 	maxY := int(math.Floor(r.Max.Y / g.cell))
 	for cx := minX; cx <= maxX; cx++ {
 		for cy := minY; cy <= maxY; cy++ {
-			for _, id := range g.cells[[2]int{cx, cy}] {
-				if r.Contains(g.items[id]) {
-					dst = append(dst, id)
+			c := g.cells[[2]int{cx, cy}]
+			if c == nil {
+				continue
+			}
+			for i, q := range c.pts {
+				if r.Contains(q) {
+					dst = append(dst, c.ids[i])
 				}
 			}
 		}
@@ -191,6 +324,11 @@ func (g *Grid) InRect(dst []int, r geom.Rect) []int {
 // boundary exceeds d (any item in ring k is at Chebyshev distance, hence at
 // metric distance, > (k−1)·cell); the ring count is additionally capped by
 // the grid's populated-cell bounds, so the loop always terminates.
+//
+// Populated cells hand their whole point block to the batch kernel; the
+// running minimum then folds over the block in index order, which is the
+// same comparison sequence as the per-point loop, so the winner (and its
+// exact distance bits) never depends on which path ran.
 func (g *Grid) Nearest(p geom.Point, skip func(id int) bool) (id int, dist float64, ok bool) {
 	if len(g.items) == 0 {
 		return 0, 0, false
@@ -207,11 +345,27 @@ func (g *Grid) Nearest(p geom.Point, skip func(id int) bool) (id int, dist float
 					cy > ck[1]-ring && cy < ck[1]+ring {
 					continue // interior cells scanned in earlier rings
 				}
-				for _, id := range g.cells[[2]int{cx, cy}] {
+				c := g.cells[[2]int{cx, cy}]
+				if c == nil {
+					continue
+				}
+				if g.batch && len(c.pts) >= batchScanMin {
+					for i, d := range g.cellDists(p, c) {
+						if d < best {
+							id := c.ids[i]
+							if skip != nil && skip(id) {
+								continue
+							}
+							best, bestID, found = d, id, true
+						}
+					}
+					continue
+				}
+				for i, id := range c.ids {
 					if skip != nil && skip(id) {
 						continue
 					}
-					if d := g.metric.Dist(g.items[id], p); d < best {
+					if d := g.metric.Dist(c.pts[i], p); d < best {
 						best, bestID, found = d, id, true
 					}
 				}

@@ -15,6 +15,37 @@ import "freezetag/internal/sim"
 // when reached — the paper's conflict-freedom precondition (Lemma 2), which
 // the callers establish by operating in exclusive regions.
 func Propagate(p *sim.Proc, root *Node, cont func(*sim.Proc)) error {
+	var b Builder
+	return b.Propagate(p, root, cont)
+}
+
+// propHandler is the wake handler of one tree node, carved from the
+// Builder's handler slab: waking a wave of n robots installs n handlers
+// without capturing n closures. It stays live until its process has run, so
+// the slab rewinds only between runs (ResetRun).
+type propHandler struct {
+	b    *Builder
+	sub  *Node
+	cont func(*sim.Proc)
+}
+
+// RunProc implements sim.Handler: the woken robot propagates the subtree it
+// was handed, then joins the continuation.
+func (h *propHandler) RunProc(q *sim.Proc) {
+	if h.sub != nil {
+		// Budget exhaustion surfaces via engine violations; the branch
+		// simply stops where it halted.
+		_ = h.b.Propagate(q, h.sub, h.cont)
+	}
+	if h.cont != nil {
+		h.cont(q)
+	}
+}
+
+// Propagate is the package-level Propagate drawing its per-wake handlers
+// from the Builder's slab. The walk, the wake order, and every spawned
+// process are identical; only the handler storage differs.
+func (b *Builder) Propagate(p *sim.Proc, root *Node, cont func(*sim.Proc)) error {
 	node := root
 	for node != nil {
 		if err := p.MoveTo(node.Pos); err != nil {
@@ -30,17 +61,9 @@ func Propagate(p *sim.Proc, root *Node, cont func(*sim.Proc)) error {
 		default:
 			woken, kept = node.Children[0], node.Children[1]
 		}
-		sub := woken // capture for the handler closure
-		p.Wake(node.ID, func(q *sim.Proc) {
-			if sub != nil {
-				// Budget exhaustion surfaces via engine violations; the
-				// branch simply stops where it halted.
-				_ = Propagate(q, sub, cont)
-			}
-			if cont != nil {
-				cont(q)
-			}
-		})
+		hs := b.hands.Take(1)
+		hs = append(hs, propHandler{b: b, sub: woken, cont: cont})
+		p.WakeH(node.ID, &hs[0])
 		node = kept
 	}
 	return nil

@@ -16,7 +16,9 @@ package wakeup
 import (
 	"math"
 
+	"freezetag/internal/arena"
 	"freezetag/internal/geom"
+	"freezetag/internal/sim"
 )
 
 // Node is one robot in a wake-up tree. Children has length ≤ 2; Children[0]
@@ -75,40 +77,89 @@ func BuildTree(start geom.Point, targets []Target) *Node {
 // Homogeneous targets take the exact pre-profile code path: every weight
 // divides by speed 1, and no handoff swap ever fires.
 func BuildTreeIn(m geom.Metric, start geom.Point, targets []Target) *Node {
+	var b Builder
+	return b.BuildIn(m, start, targets)
+}
+
+// Builder carries wake-tree construction state and owns the backing storage
+// of the trees it builds: nodes, child-pointer pairs, and propagation
+// handlers all come from grow-only slabs. A zero Builder is ready to use and
+// behaves like the one-shot BuildTreeIn; a Builder fetched with BuilderOf
+// lives in an engine's scratch stash, where its slabs are rewound between
+// the runs of a pooled engine — so every tree it ever built is invalidated
+// when the engine is Reset, and steady-state tree construction allocates
+// nothing.
+type Builder struct {
+	m      geom.Metric
+	hetero bool
+	nodes  arena.Slab[Node]
+	kids   arena.Slab[*Node]
+	hands  arena.Slab[propHandler]
+	ts     []Target // working copy of the current build's targets
+	part   []Target // bisection partition scratch (see build)
+}
+
+// BuilderOf returns the engine's pooled tree builder.
+func BuilderOf(e *sim.Engine) *Builder {
+	return sim.ScratchOf(e, "wakeup.builder", func() *Builder { return &Builder{} })
+}
+
+// ResetRun implements sim.RunScratch: trees and handlers from the previous
+// run are invalidated, their storage reused.
+func (b *Builder) ResetRun() {
+	b.nodes.Reset()
+	b.kids.Reset()
+	b.hands.Reset()
+}
+
+// BuildIn is BuildTreeIn building from the Builder's pooled storage. The
+// returned tree is bit-identical to BuildTreeIn's — same nearest-first
+// greedy, same bisection, same handoff rules — and remains valid until the
+// Builder's next ResetRun.
+func (b *Builder) BuildIn(m geom.Metric, start geom.Point, targets []Target) *Node {
 	if len(targets) == 0 {
 		return nil
 	}
-	pts := make([]geom.Point, 0, len(targets)+1)
-	pts = append(pts, start)
+	// Inline fold of geom.BoundingRect over {start} ∪ target positions, in
+	// the same order and with the same math.Min/Max operations, without
+	// materializing the point slice.
+	region := geom.Rect{Min: start, Max: start}
 	hetero := false
 	for _, t := range targets {
-		pts = append(pts, t.Pos)
+		region.Min.X = math.Min(region.Min.X, t.Pos.X)
+		region.Min.Y = math.Min(region.Min.Y, t.Pos.Y)
+		region.Max.X = math.Max(region.Max.X, t.Pos.X)
+		region.Max.Y = math.Max(region.Max.Y, t.Pos.Y)
 		if (t.Speed > 0 && t.Speed != 1) || t.Capacity > 0 {
 			hetero = true
 		}
 	}
-	region := geom.BoundingRect(pts)
-	ts := append([]Target(nil), targets...)
-	b := &builder{m: geom.MetricOrL2(m), hetero: hetero}
-	return b.build(ts, region, start)
+	b.m = geom.MetricOrL2(m)
+	b.hetero = hetero
+	b.ts = append(b.ts[:0], targets...)
+	return b.build(b.ts, region, start)
 }
 
-// builder carries the per-construction state of one BuildTreeIn call.
-type builder struct {
-	m      geom.Metric
-	hetero bool
+// newNode carves one node from the slab. Slab chunks never move, so the
+// returned pointer stays valid across future allocations.
+func (b *Builder) newNode(t Target) *Node {
+	ns := b.nodes.Take(1)
+	ns = append(ns, Node{ID: t.ID, Pos: t.Pos, Speed: t.Speed, Capacity: t.Capacity})
+	return &ns[0]
 }
 
 // build constructs the subtree for the targets inside region, to be woken by
 // a robot currently at from. It owns (and may reorder) ts.
-func (b *builder) build(ts []Target, region geom.Rect, from geom.Point) *Node {
+func (b *Builder) build(ts []Target, region geom.Rect, from geom.Point) *Node {
 	if len(ts) == 0 {
 		return nil
 	}
 	m := b.m
 	// Wake the target nearest in travel time to the current position: cost ≤
 	// diam(region)/minSpeed. Homogeneous speeds are exactly 1, so the weight
-	// is the plain distance and the pre-profile tree is reproduced.
+	// is the plain distance and the pre-profile tree is reproduced. The
+	// (time, ID) minimum is unique — ids are — so it does not depend on the
+	// order the targets are scanned in.
 	nearest := 0
 	bd := math.Inf(1)
 	for i, t := range ts {
@@ -118,7 +169,7 @@ func (b *builder) build(ts []Target, region geom.Rect, from geom.Point) *Node {
 		}
 	}
 	ts[0], ts[nearest] = ts[nearest], ts[0]
-	node := &Node{ID: ts[0].ID, Pos: ts[0].Pos, Speed: ts[0].Speed, Capacity: ts[0].Capacity}
+	node := b.newNode(ts[0])
 	rest := ts[1:]
 	if len(rest) == 0 {
 		return node
@@ -129,30 +180,50 @@ func (b *builder) build(ts []Target, region geom.Rect, from geom.Point) *Node {
 	if region.Diam() <= 4*geom.Eps {
 		child := b.build(rest, region, node.Pos)
 		if child != nil {
-			node.Children = append(node.Children, child)
+			ks := b.kids.Take(1)
+			node.Children = append(ks, child)
 		}
 		return node
 	}
 	r1, r2 := region.SplitLongestSide()
-	var in1, in2 []Target
+	// Stable in-place partition of rest into r1's targets followed by r2's:
+	// r1 members compact forward, r2 members divert to the scratch buffer
+	// and are copied back behind them. Both halves keep their relative
+	// order, so the recursion sees exactly the in1/in2 sequences the
+	// append-based partition produced.
+	b.part = b.part[:0]
+	n1 := 0
 	for _, t := range rest {
 		if r1.ContainsStrict(t.Pos) || (!r2.ContainsStrict(t.Pos) && r1.Contains(t.Pos)) {
-			in1 = append(in1, t)
+			rest[n1] = t
+			n1++
 		} else {
-			in2 = append(in2, t)
+			b.part = append(b.part, t)
 		}
 	}
-	c1 := b.build(in1, r1, node.Pos)
-	c2 := b.build(in2, r2, node.Pos)
+	copy(rest[n1:], b.part)
+	c1 := b.build(rest[:n1], r1, node.Pos)
+	c2 := b.build(rest[n1:], r2, node.Pos)
 	// Children[0] goes to the woken robot, Children[1] stays with the waker.
 	if b.hetero && c1 != nil && c2 != nil && b.swapHandoff(node, c1, c2) {
 		c1, c2 = c2, c1
 	}
+	nc := 0
 	if c1 != nil {
-		node.Children = append(node.Children, c1)
+		nc++
 	}
 	if c2 != nil {
-		node.Children = append(node.Children, c2)
+		nc++
+	}
+	if nc > 0 {
+		ks := b.kids.Take(nc)
+		if c1 != nil {
+			ks = append(ks, c1)
+		}
+		if c2 != nil {
+			ks = append(ks, c2)
+		}
+		node.Children = ks
 	}
 	return node
 }
@@ -166,7 +237,7 @@ func (b *builder) build(ts []Target, region geom.Rect, from geom.Point) *Node {
 //   - otherwise, a fast woken robot (speed > 1) takes the deeper subtree
 //     and a slow one (speed < 1) the shallower, leaving the other branch to
 //     the waker, whose speed the builder cannot know statically.
-func (b *builder) swapHandoff(node, c1, c2 *Node) bool {
+func (b *Builder) swapHandoff(node, c1, c2 *Node) bool {
 	if node.Capacity > 0 {
 		cost1 := MakespanIn(b.m, node.Pos, c1)
 		cost2 := MakespanIn(b.m, node.Pos, c2)
