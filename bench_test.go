@@ -13,6 +13,7 @@
 package freezetag_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -145,6 +146,41 @@ func BenchmarkEndToEnd_AWave_Walk40(b *testing.B) {
 
 func BenchmarkEndToEnd_ASeparatorAuto_Line32(b *testing.B) {
 	benchAlgorithm(b, dftp.ASeparatorAuto{}, instance.Line(32, 1))
+}
+
+// BenchmarkEndToEnd_Faulted measures what a fault plan costs on the same
+// instance: the fault-free baseline, crash-stop with the repair layer
+// (detection watches + monitor polls + rescue trees), and crash-stop
+// without it (less work — crashed subtrees are simply lost; whether the
+// run still completes depends on how much redundancy the algorithm's own
+// schedule happens to carry). Completion is reported as a metric so the
+// three rows can be compared honestly.
+func BenchmarkEndToEnd_Faulted(b *testing.B) {
+	in := instance.UniformDisk(rand.New(rand.NewSource(5)), 60, 12)
+	tup := dftp.TupleFor(in)
+	specs := []struct {
+		name   string
+		faults *dftp.Faults
+	}{
+		{"fault-free", nil},
+		{"crash-stop-repair", &dftp.Faults{Kind: "crash-stop", Rate: 0.3, Seed: 42, Repair: true}},
+		{"crash-stop-no-repair", &dftp.Faults{Kind: "crash-stop", Rate: 0.3, Seed: 42}},
+	}
+	for _, s := range specs {
+		b.Run(s.name, func(b *testing.B) {
+			var mk, comp float64
+			for i := 0; i < b.N; i++ {
+				res, _, err := dftp.SolveFaulted(context.Background(), nil, nil, dftp.AGrid{}, in, tup, 0, s.faults, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mk = res.Makespan
+				comp = float64(res.Awakened) / float64(in.N())
+			}
+			b.ReportMetric(mk, "makespan")
+			b.ReportMetric(comp, "completion")
+		})
+	}
 }
 
 func BenchmarkWakeup_Optimal10(b *testing.B) {

@@ -26,6 +26,8 @@
 //	speed=S        heterogeneous profiles: every robot gets speed S
 //	budget=B       per-robot energy budget (0 = unconstrained)
 //	seeds=K        seed pool size (default 20)
+//	faults=SPEC    fault plan: "<kind>[;rate=R][;seed=S][;byz=K][;down=D][;repair]"
+//	               (semicolon-separated — commas delimit mix keys)
 //	name=X         label in the report (default mix<i>)
 //
 // Pacing. -concurrency alone runs a closed loop: that many workers issue
@@ -64,6 +66,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"freezetag/internal/dftp"
 	"freezetag/internal/instance"
 	"freezetag/internal/obs"
 	"freezetag/internal/service"
@@ -96,6 +99,8 @@ type shape struct {
 	Speed      float64  `json:"speed,omitempty"`
 	Budget     float64  `json:"budget,omitempty"`
 	Seeds      int      `json:"seeds"`
+
+	Faults *dftp.Faults `json:"faults,omitempty"`
 }
 
 func parseShape(spec string, idx int) (shape, error) {
@@ -141,6 +146,8 @@ func parseShape(spec string, idx int) (shape, error) {
 			sh.Budget, err = strconv.ParseFloat(v, 64)
 		case "seeds":
 			sh.Seeds, err = strconv.Atoi(v)
+		case "faults":
+			sh.Faults, err = parseMixFaults(v)
 		default:
 			return sh, fmt.Errorf("mix %q: unknown key %q", spec, k)
 		}
@@ -189,6 +196,7 @@ func (sh *shape) body(seed int64) ([]byte, error) {
 			Seed:       seed,
 			Budget:     sh.Budget,
 			Profiles:   profiles,
+			Faults:     sh.Faults,
 		})
 	}
 	return json.Marshal(service.SolveRequest{
@@ -200,7 +208,41 @@ func (sh *shape) body(seed int64) ([]byte, error) {
 		Seed:      seed,
 		Budget:    sh.Budget,
 		Profiles:  profiles,
+		Faults:    sh.Faults,
 	})
+}
+
+// parseMixFaults parses a mix shape's faults= value — the dftp-run compact
+// fault spec with ';' in place of ',' so it survives the mix key splitter:
+// "<kind>[;rate=R][;seed=S][;byz=K][;down=D][;repair[=bool]]".
+func parseMixFaults(spec string) (*dftp.Faults, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ";")
+	f := &dftp.Faults{Kind: strings.TrimSpace(parts[0])}
+	for _, part := range parts[1:] {
+		key, val, hasVal := strings.Cut(strings.TrimSpace(part), "=")
+		var err error
+		switch key {
+		case "rate":
+			f.Rate, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			f.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "byz":
+			f.Byzantine, err = strconv.Atoi(val)
+		case "down":
+			f.Downtime, err = strconv.ParseFloat(val, 64)
+		case "repair":
+			f.Repair = true
+			if hasVal {
+				f.Repair, err = strconv.ParseBool(val)
+			}
+		default:
+			return nil, fmt.Errorf("unknown fault option %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault option %q: %v", key, err)
+		}
+	}
+	return f, f.Validate()
 }
 
 // serverTiming is one parsed Server-Timing header.

@@ -10,6 +10,7 @@
 //	         [-instance file.json] [-family line|walk|disk|grid|chain]
 //	         [-n 32] [-param 1.0] [-budget 0] [-seed 1]
 //	         [-profiles "2,1:5,0.5:3"]
+//	         [-faults "crash-stop,rate=0.3,seed=42,repair"]
 //	         [-trace out.csv] [-json]
 //
 // Without -instance, an instance is generated from -family/-n/-param; the
@@ -23,9 +24,14 @@
 // profiles. With -alg portfolio, the -algs entrants race concurrently under
 // -objective ("min-makespan", "min-energy", "weighted:0.7,0.3",
 // "first-under-budget:makespan=120,energy=50") and the winning schedule is
-// reported with per-racer stats. With -json, the result is printed as the
-// solver service's SolveResponse (or PortfolioResponse) — byte-comparable
-// with a POST /v1/solve (or /v1/portfolio) reply for the same request.
+// reported with per-racer stats. With -faults, the run executes under a
+// deterministic fault plan: the spec is the kind followed by comma-separated
+// options ("crash-stop,rate=0.3,seed=42,repair"; kinds crash-stop,
+// crash-recovery, wake-drop, wake-dup, byzantine; options rate=, seed=,
+// byz=, down=, repair), or a raw JSON object matching the service's
+// "faults" field. With -json, the result is printed as the solver service's
+// SolveResponse (or PortfolioResponse) — byte-comparable with a POST
+// /v1/solve (or /v1/portfolio) reply for the same request.
 package main
 
 import (
@@ -66,6 +72,7 @@ func run() error {
 		budget   = flag.Float64("budget", 0, "per-robot energy budget (0 = unconstrained)")
 		seed     = flag.Int64("seed", 1, "random seed for generated instances (and the portfolio's racer streams)")
 		profSpec = flag.String("profiles", "", `per-robot "speed[:capacity]" list, comma-separated (empty = homogeneous)`)
+		faultStr = flag.String("faults", "", `fault plan: "<kind>[,rate=R][,seed=S][,byz=K][,down=D][,repair]" or JSON (empty = fault-free)`)
 		traceOut = flag.String("trace", "", "write the event trace as CSV to this file")
 		jsonOut  = flag.Bool("json", false, "print the result as the service's response JSON")
 	)
@@ -89,6 +96,10 @@ func run() error {
 	if err := inst.ValidateProfiles(); err != nil {
 		return err
 	}
+	faults, err := parseFaults(*faultStr)
+	if err != nil {
+		return fmt.Errorf("-faults: %w", err)
+	}
 	// One parameter derivation (O(n²) Prim) serves both the tuple and the
 	// printed params.
 	params := inst.ParamsIn(metric)
@@ -101,10 +112,14 @@ func run() error {
 		}
 		fmt.Printf("params:   ℓ*=%.4g ρ*=%.4g ξ=%.4g  tuple=(ℓ=%.4g, ρ=%.4g, n=%d)\n",
 			params.Ell, params.Rho, params.Xi, tup.Ell, tup.Rho, tup.N)
+		if faults != nil {
+			fmt.Printf("faults:   %s rate=%.4g seed=%d repair=%v\n",
+				faults.Kind, faults.Rate, faults.Seed, faults.Repair)
+		}
 	}
 
 	if strings.EqualFold(*algName, "portfolio") {
-		return runPortfolio(*algsList, *objName, metric, inst, tup, *budget, *seed, *traceOut, *jsonOut)
+		return runPortfolio(*algsList, *objName, metric, inst, tup, *budget, *seed, faults, *traceOut, *jsonOut)
 	}
 
 	alg, err := service.AlgorithmByName(*algName)
@@ -118,14 +133,16 @@ func run() error {
 		rec = trace.New()
 		traceFn = rec.Record
 	}
-	res, rep, err := dftp.SolveIn(context.Background(), metric, alg, inst, tup, *budget, traceFn)
+	res, rep, err := dftp.SolveFaulted(context.Background(), nil, metric, alg, inst, tup, *budget, faults, traceFn)
 	if err != nil {
 		return fmt.Errorf("simulation: %w", err)
 	}
 
 	if *jsonOut {
-		hash := instance.HashRequestIn(metric, alg.Name(), inst, tup.Ell, tup.Rho, tup.N, *budget)
-		body, err := json.Marshal(service.NewSolveResponse(hash, alg, metric, inst, tup, *budget, res, rep))
+		hash := instance.HashRequestFaulted(metric, alg.Name(), inst, tup.Ell, tup.Rho, tup.N, *budget, faults.Canon())
+		out := service.NewSolveResponse(hash, alg, metric, inst, tup, *budget, res, rep)
+		out.Faults = service.NewFaultsEcho(faults, res, inst.N())
+		body, err := json.Marshal(out)
 		if err != nil {
 			return err
 		}
@@ -133,6 +150,7 @@ func run() error {
 	} else {
 		fmt.Printf("algorithm: %s\n", alg.Name())
 		printRun(res, rep, inst.N())
+		printFaults(faults, res)
 	}
 
 	if *traceOut != "" {
@@ -152,7 +170,7 @@ func run() error {
 // runPortfolio races the -algs entrants under the metric and reports the
 // winner.
 func runPortfolio(algsList, objName string, metric geom.Metric, inst *instance.Instance, tup dftp.Tuple,
-	budget float64, seed int64, traceOut string, jsonOut bool) error {
+	budget float64, seed int64, faults *dftp.Faults, traceOut string, jsonOut bool) error {
 	var algs []dftp.Algorithm
 	for _, name := range strings.Split(algsList, ",") {
 		if name = strings.TrimSpace(name); name == "" {
@@ -169,14 +187,17 @@ func runPortfolio(algsList, objName string, metric geom.Metric, inst *instance.I
 		return err
 	}
 	pf := portfolio.Portfolio{Algorithms: algs, Objective: obj, Seed: seed}
-	res, err := portfolio.Race(pf, inst, tup, budget, portfolio.Options{Trace: traceOut != "", Metric: metric})
+	res, err := portfolio.Race(pf, inst, tup, budget,
+		portfolio.Options{Trace: traceOut != "", Metric: metric, Faults: faults})
 	if err != nil {
 		return fmt.Errorf("race: %w", err)
 	}
 
 	if jsonOut {
-		hash := instance.HashRequestIn(metric, pf.Name(), inst, tup.Ell, tup.Rho, tup.N, budget)
-		body, err := json.Marshal(service.NewPortfolioResponse(hash, pf, metric, inst, tup, budget, res))
+		hash := instance.HashRequestFaulted(metric, pf.Name(), inst, tup.Ell, tup.Rho, tup.N, budget, faults.Canon())
+		out := service.NewPortfolioResponse(hash, pf, metric, inst, tup, budget, res)
+		out.Faults = service.NewFaultsEcho(faults, res.Res, inst.N())
+		body, err := json.Marshal(out)
 		if err != nil {
 			return err
 		}
@@ -197,6 +218,7 @@ func runPortfolio(algsList, objName string, metric geom.Metric, inst *instance.I
 			}
 		}
 		printRun(res.Res, res.Rep, inst.N())
+		printFaults(faults, res.Res)
 	}
 
 	if traceOut != "" {
@@ -230,6 +252,61 @@ func printRun(res sim.Result, rep *dftp.Report, n int) {
 	if len(res.Violations) > 0 {
 		fmt.Printf("budget violations: %d (first: %s)\n", len(res.Violations), res.Violations[0])
 	}
+}
+
+// printFaults prints the fault/repair block of a faulted run.
+func printFaults(f *dftp.Faults, res sim.Result) {
+	if f == nil {
+		return
+	}
+	fs := res.Faults
+	fmt.Printf("faults:    injected=%d (crash=%d recover=%d drop=%d dup=%d byz=%d) skips=%d repairs=%d\n",
+		fs.Injected(), fs.CrashStops, fs.Recoveries, fs.WakeDrops, fs.WakeDups,
+		fs.ByzTakeovers, fs.RosterSkips, fs.Repairs)
+}
+
+// parseFaults parses the -faults spec: empty means fault-free, a leading
+// "{" means the service's JSON "faults" object, anything else is the
+// compact form "<kind>[,rate=R][,seed=S][,byz=K][,down=D][,repair[=bool]]".
+func parseFaults(spec string) (*dftp.Faults, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	f := &dftp.Faults{}
+	if strings.HasPrefix(spec, "{") {
+		if err := json.Unmarshal([]byte(spec), f); err != nil {
+			return nil, err
+		}
+		return f, f.Validate()
+	}
+	parts := strings.Split(spec, ",")
+	f.Kind = strings.TrimSpace(parts[0])
+	for _, part := range parts[1:] {
+		key, val, hasVal := strings.Cut(strings.TrimSpace(part), "=")
+		var err error
+		switch key {
+		case "rate":
+			f.Rate, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			f.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "byz":
+			f.Byzantine, err = strconv.Atoi(val)
+		case "down":
+			f.Downtime, err = strconv.ParseFloat(val, 64)
+		case "repair":
+			f.Repair = true
+			if hasVal {
+				f.Repair, err = strconv.ParseBool(val)
+			}
+		default:
+			return nil, fmt.Errorf("unknown option %q (have rate, seed, byz, down, repair)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("option %q: %v", key, err)
+		}
+	}
+	return f, f.Validate()
 }
 
 func writeTraceCSV(path string, rec *trace.Recorder) error {

@@ -1,0 +1,37 @@
+// Package wander is the adversary's Byzantine movement program, split into a
+// leaf package (geometry and RNG streams only) so the fault-injection layer
+// can use it without importing the replay adversary, which itself sits above
+// the algorithms it attacks.
+package wander
+
+import (
+	"freezetag/internal/geom"
+	"freezetag/internal/rngstream"
+)
+
+// Program returns the movement program of Byzantine robots under a fault
+// plan: robot id, when handed work, instead wanders through `steps` points
+// drawn uniformly from region (≤ 0 means 4). The path is a pure function of
+// (seed, id) — each robot draws from its own splitmix64 stream — so an
+// adversarial run is as deterministic as a faithful one, which is what lets
+// fault-injected results be content-addressed and replayed.
+//
+// Wandering inside the instance's bounding region is the worst reasonable
+// behavior for a wake schedule: the robot stays plausible (it moves, it
+// spends energy, it may even stand co-located with sleepers) while
+// contributing nothing — the disruption the self-stabilization literature's
+// "malicious actions" model captures.
+func Program(seed int64, region geom.Rect, steps int) func(id int, from geom.Point) []geom.Point {
+	if steps <= 0 {
+		steps = 4
+	}
+	w, h := region.Width(), region.Height()
+	return func(id int, from geom.Point) []geom.Point {
+		rnd := rngstream.New(seed, id)
+		path := make([]geom.Point, steps)
+		for i := range path {
+			path[i] = geom.Pt(region.Min.X+rnd.Float64()*w, region.Min.Y+rnd.Float64()*h)
+		}
+		return path
+	}
+}

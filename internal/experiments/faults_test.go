@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"freezetag/internal/report"
+)
+
+// f8Rows runs the quick F8 sweep once and returns its data rows keyed by
+// column name.
+func f8Rows(t *testing.T) []map[string]string {
+	t.Helper()
+	tb, err := NewRunner().F8FaultResilience(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb.String())
+	var buf strings.Builder
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("F8 produced no rows")
+	}
+	header := recs[0]
+	var rows []map[string]string
+	for _, rec := range recs[1:] {
+		row := map[string]string{}
+		for i, h := range header {
+			row[h] = rec[i]
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func cellFloat(t *testing.T, row map[string]string, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(row[col], 64)
+	if err != nil {
+		t.Fatalf("column %q = %q: %v", col, row[col], err)
+	}
+	return v
+}
+
+// The F-series acceptance criterion: under crash-stop faults every
+// algorithm with the repair layer completes all wake-ups (completion rate
+// 1.0) at a bounded makespan premium, and without repair the completion
+// rate drops — the table demonstrates the repair layer earns its cost.
+// Wake-dup is the control: at-least-once waking absorbs duplicates, so both
+// columns stay at 1.0.
+func TestF8FaultResilience(t *testing.T) {
+	rows := f8Rows(t)
+	if len(rows) != 20 { // 5 kinds x 2 rates x 2 algorithms at quick scale
+		t.Fatalf("F8 has %d rows, want 20", len(rows))
+	}
+	droppedWithoutRepair := false
+	for _, row := range rows {
+		kind := row["fault kind"]
+		repComp := cellFloat(t, row, "completion (repair)")
+		noComp := cellFloat(t, row, "completion (no repair)")
+		switch kind {
+		case "crash-stop":
+			if repComp != 1 {
+				t.Errorf("crash-stop %s f=%s: repaired completion %g, want 1.0",
+					row["algorithm"], row["rate f"], repComp)
+			}
+			inflation := cellFloat(t, row, "inflation ×")
+			if inflation <= 0 || inflation > 15 {
+				t.Errorf("crash-stop %s f=%s: inflation %g out of (0, 15]",
+					row["algorithm"], row["rate f"], inflation)
+			}
+			if noComp < 1 {
+				droppedWithoutRepair = true
+			}
+		case "wake-dup":
+			if repComp != 1 || noComp != 1 {
+				t.Errorf("wake-dup %s f=%s: completions %g/%g, duplicates must be harmless",
+					row["algorithm"], row["rate f"], repComp, noComp)
+			}
+		}
+	}
+	if !droppedWithoutRepair {
+		t.Error("no crash-stop row lost completion without repair — the sweep shows no contrast")
+	}
+}
+
+// F8 is deterministic at any worker count, like every sweep in the engine.
+func TestF8ParallelMatchesSerial(t *testing.T) {
+	assertTableIdentical(t, "F8FaultResilience", func(r *Runner) (*report.Table, error) {
+		return r.F8FaultResilience(Quick)
+	})
+}

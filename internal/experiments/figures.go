@@ -357,6 +357,7 @@ func (r *Runner) All(scale Scale) ([]*report.Table, error) {
 		{"E3", r.E3AGrid}, {"E4", r.E4AWave}, {"E5", r.E5LowerBound}, {"E6", r.E6Path},
 		{"E7", r.E7Crossover},
 		{"F1", r.F1Phases}, {"F4", r.F4Explore}, {"F5", r.F5Construction},
+		{"F8", r.F8FaultResilience},
 		{"L2", r.L2WakeTree}, {"L5", r.L5DFSampling},
 		{"P1", r.P1Portfolio},
 		{"M1", r.M1Metrics},

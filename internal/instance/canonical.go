@@ -35,10 +35,17 @@ import (
 // requests (no Profiles) keep their v1/v2 encoding byte-for-byte — locked by
 // testdata/hash_golden_pr5.json — while heterogeneous ones encode under v3
 // with an always-explicit metric line plus one profile line per robot.
+//
+// The v3→v4 bump, once more by the same rule, covers fault plans: fault-free
+// requests keep their v1/v2/v3 encoding byte-for-byte (HashRequestFaulted
+// with an empty faults line IS HashRequestIn), while fault-injected requests
+// encode under v4 with an always-explicit metric line plus the canonical
+// faults line, never aliasing any fault-free hash.
 const (
 	canonVersion   = "dftp-request/v1"
 	canonVersionV2 = "dftp-request/v2"
 	canonVersionV3 = "dftp-request/v3"
+	canonVersionV4 = "dftp-request/v4"
 )
 
 // canonFloat appends f's canonical form to b: exact (hex mantissa, no
@@ -151,6 +158,47 @@ func HashRequestIn(m geom.Metric, algorithm string, in *Instance, ell, rho float
 		b = append(b, '\n')
 	}
 	b = append(b, "tuple="...)
+	b = canonFloat(b, ell)
+	b = append(b, ',')
+	b = canonFloat(b, rho)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, "\nbudget="...)
+	b = canonFloat(b, budget)
+	b = append(b, '\n')
+	b = in.appendCanonical(b)
+	sum := sha256.Sum256(b)
+	*bp = b
+	canonBufPool.Put(bp)
+	var hx [2 * sha256.Size]byte
+	hex.Encode(hx[:], sum[:])
+	return string(hx[:])
+}
+
+// HashRequestFaulted is HashRequestIn for requests that may carry a fault
+// plan, passed as its canonical line (see the dftp layer's Faults.Canon; this
+// package stays agnostic of its fields). An empty line is a fault-free
+// request and delegates to HashRequestIn byte-for-byte — the golden-locked
+// v1/v2/v3 encodings are untouched. A non-empty line encodes under v4 with
+// an always-explicit metric line, the faults line, and the full instance
+// encoding (profile lines included when present).
+func HashRequestFaulted(m geom.Metric, algorithm string, in *Instance, ell, rho float64, n int, budget float64, faultsLine string) string {
+	if faultsLine == "" {
+		return HashRequestIn(m, algorithm, in, ell, rho, n, budget)
+	}
+	if budget <= 0 {
+		budget = 0
+	}
+	bp := canonBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, canonVersionV4...)
+	b = append(b, "\nalg="...)
+	b = append(b, algorithm...)
+	b = append(b, "\nmetric="...)
+	b = append(b, geom.MetricOrL2(m).Name()...)
+	b = append(b, "\nfaults="...)
+	b = append(b, faultsLine...)
+	b = append(b, "\ntuple="...)
 	b = canonFloat(b, ell)
 	b = append(b, ',')
 	b = canonFloat(b, rho)

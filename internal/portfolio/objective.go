@@ -105,6 +105,39 @@ func (f FirstUnder) Accept(res sim.Result) bool {
 	return true
 }
 
+// UnderFaults ranks algorithms by their worst makespan over several
+// independent fault draws — the portfolio's resilience objective. It requires
+// the race to run under a fault specification (Options.Faults); each entrant
+// endures Draws seeded draws (draw j reseeds the specification with
+// rngstream.TrialSeed(seed, j)) and is scored by its representative — worst —
+// run: incomplete wake-ups dominate, then the largest makespan. The winner is
+// therefore the algorithm that degrades least under the fault model, not the
+// one that got the luckiest draw.
+type UnderFaults struct {
+	// Draws is the number of independent fault draws per entrant; ≤ 0 means 3.
+	Draws int
+}
+
+// draws returns the effective draw count.
+func (u UnderFaults) draws() int {
+	if u.Draws <= 0 {
+		return 3
+	}
+	return u.Draws
+}
+
+// Name implements Objective.
+func (u UnderFaults) Name() string {
+	return fmt.Sprintf("min-makespan-under-faults(draws=%d)", u.draws())
+}
+
+// Score implements Objective: the representative (worst-draw) makespan.
+func (UnderFaults) Score(res sim.Result) float64 { return res.Makespan }
+
+// Accept implements Objective: never early-stops — every entrant must endure
+// all of its draws.
+func (UnderFaults) Accept(sim.Result) bool { return false }
+
 // validate rejects objectives whose parameters make the race meaningless.
 // Non-finite parameters are rejected outright: a NaN cap is never exceeded
 // by a comparison, so it would silently disable the budget it claims to
@@ -130,6 +163,12 @@ func validate(obj Objective) error {
 		if o.MaxMakespan <= 0 && o.MaxEnergy <= 0 {
 			return fmt.Errorf("portfolio: first-under-budget objective needs a makespan or energy cap")
 		}
+	case UnderFaults:
+		// Each draw is a full simulation per entrant; the cap bounds the work
+		// a single request can demand of the serving tier.
+		if o.Draws > 64 {
+			return fmt.Errorf("portfolio: under-faults objective caps at 64 draws, got %d", o.Draws)
+		}
 	}
 	return nil
 }
@@ -141,7 +180,8 @@ func canonNum(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 // ObjectiveNames lists the objective spellings ParseObjective accepts.
 func ObjectiveNames() []string {
 	return []string{"min-makespan", "min-energy", "weighted:WM,WE",
-		"first-under-budget:makespan=M[,energy=E]"}
+		"first-under-budget:makespan=M[,energy=E]",
+		"min-makespan-under-faults[:draws=N]"}
 }
 
 // ParseObjective builds an Objective from its wire/CLI spelling:
@@ -152,6 +192,8 @@ func ObjectiveNames() []string {
 //	                                            bare "weighted" means 0.5,0.5)
 //	first-under-budget:makespan=120,energy=50  (either cap optional, not both;
 //	                                            alias: first-under)
+//	min-makespan-under-faults:draws=5          (draws optional, default 3;
+//	                                            alias: under-faults)
 //
 // The empty string means min-makespan. Spellings of the same objective parse
 // to the same canonical Name, so they hash — and cache — identically.
@@ -218,6 +260,23 @@ func ParseObjective(s string) (Objective, error) {
 			return nil, err
 		}
 		return f, nil
+	case "min-makespan-under-faults", "under-faults":
+		var u UnderFaults
+		if hasArg {
+			k, v, ok := strings.Cut(arg, "=")
+			if !ok || strings.ToLower(strings.TrimSpace(k)) != "draws" {
+				return bad("takes a single draws=N parameter")
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil || n < 1 {
+				return bad("bad draw count %q", v)
+			}
+			u.Draws = n
+		}
+		if err := validate(u); err != nil {
+			return nil, err
+		}
+		return u, nil
 	default:
 		return bad("unknown objective")
 	}

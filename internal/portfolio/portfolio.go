@@ -159,6 +159,11 @@ type Options struct {
 	// response bodies. Observe may be called from several worker goroutines
 	// concurrently and must be safe for that.
 	Observe func(RacerObservation)
+	// Faults runs every racer under the given fault specification
+	// (dftp.SolveFaulted). Like Metric it changes the problem itself, so it is
+	// part of the race's content-addressed identity at the service layer. The
+	// UnderFaults objective requires it.
+	Faults *dftp.Faults
 }
 
 // RacerObservation is one entrant's wall-clock telemetry: how long its
@@ -193,6 +198,10 @@ type racerRun struct {
 	err      error
 	accepted bool
 	aborted  bool // skipped or ctx-stopped; scheduling-dependent
+	// faults is the specification that produced res — under an UnderFaults
+	// objective, the representative (worst) draw's reseeded copy — so a traced
+	// race can reproduce the winning run exactly.
+	faults *dftp.Faults
 }
 
 // control coordinates early stopping: best is the lowest accepted index so
@@ -252,6 +261,12 @@ func Race(p Portfolio, inst *instance.Instance, tup dftp.Tuple, budget float64, 
 	if err := validate(obj); err != nil {
 		return nil, err
 	}
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := obj.(UnderFaults); ok && opts.Faults == nil {
+		return nil, errors.New("portfolio: the under-faults objective needs a fault specification (Options.Faults)")
+	}
 
 	k := len(p.Algorithms)
 	ctl := &control{best: -1, cancels: make([]context.CancelFunc, k), cancelledAt: make([]time.Time, k)}
@@ -282,7 +297,7 @@ func Race(p Portfolio, inst *instance.Instance, tup dftp.Tuple, budget float64, 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				runs[i] = runRacer(p, obj, inst, tup, budget, opts.Metric, i, ctxs[i], ctl, opts.Observe)
+				runs[i] = runRacer(p, obj, inst, tup, budget, opts.Metric, opts.Faults, i, ctxs[i], ctl, opts.Observe)
 			}
 		}()
 	}
@@ -302,7 +317,11 @@ func Race(p Portfolio, inst *instance.Instance, tup dftp.Tuple, budget float64, 
 		// re-solving the winner with a recorder reproduces the winning run
 		// exactly, at the cost of one extra simulation per traced race.
 		rec := trace.New()
-		if _, _, err := dftp.SolveIn(context.Background(), opts.Metric, p.Algorithms[out.Winner], inst, tup, budget, rec.Record); err != nil {
+		if winF := runs[out.Winner].faults; winF != nil {
+			if _, _, err := dftp.SolveFaulted(context.Background(), nil, opts.Metric, p.Algorithms[out.Winner], inst, tup, budget, winF, rec.Record); err != nil {
+				return nil, fmt.Errorf("portfolio: re-tracing the winner: %w", err)
+			}
+		} else if _, _, err := dftp.SolveIn(context.Background(), opts.Metric, p.Algorithms[out.Winner], inst, tup, budget, rec.Record); err != nil {
 			return nil, fmt.Errorf("portfolio: re-tracing the winner: %w", err)
 		}
 		out.Events = rec.Events()
@@ -312,7 +331,7 @@ func Race(p Portfolio, inst *instance.Instance, tup dftp.Tuple, budget float64, 
 
 // runRacer executes entrant i unless the race is already decided against it.
 func runRacer(p Portfolio, obj Objective, inst *instance.Instance, tup dftp.Tuple, budget float64,
-	m geom.Metric, i int, ctx context.Context, ctl *control, observe func(RacerObservation)) racerRun {
+	m geom.Metric, faults *dftp.Faults, i int, ctx context.Context, ctl *control, observe func(RacerObservation)) racerRun {
 	if ctl.doomed(i) {
 		if observe != nil {
 			observe(RacerObservation{Index: i, Algorithm: p.Algorithms[i].Name(), Aborted: true})
@@ -323,7 +342,7 @@ func runRacer(p Portfolio, obj Objective, inst *instance.Instance, tup dftp.Tupl
 	if observe != nil {
 		start = time.Now()
 	}
-	res, rep, err := dftp.SolveIn(ctx, m, p.Algorithms[i], inst, tup, budget, nil)
+	res, rep, resFaults, err := solveRacer(ctx, m, p.Algorithms[i], inst, tup, budget, faults, obj)
 	if ctx.Err() != nil {
 		// Aborted mid-run: the result is partial and scheduling-dependent —
 		// discard everything but the fact of the abort.
@@ -342,11 +361,58 @@ func runRacer(p Portfolio, obj Objective, inst *instance.Instance, tup dftp.Tupl
 	if err != nil {
 		return racerRun{err: err}
 	}
-	run := racerRun{res: res, rep: rep, accepted: obj.Accept(res)}
+	run := racerRun{res: res, rep: rep, faults: resFaults, accepted: obj.Accept(res)}
 	if run.accepted {
 		ctl.accepted(i)
 	}
 	return run
+}
+
+// solveRacer runs one entrant, under the race's fault specification when one
+// is set. Under an UnderFaults objective the entrant endures Draws
+// independent fault draws — draw j reseeds the specification with
+// rngstream.TrialSeed(seed, j) — and the representative result is the worst
+// draw (incomplete wake-ups first, then the largest makespan, earliest draw
+// on exact ties), so the objective scores each algorithm by its worst
+// observed behavior. The returned specification is the one that produced the
+// returned result; a traced race replays it to reproduce the winning run.
+func solveRacer(ctx context.Context, m geom.Metric, alg dftp.Algorithm, inst *instance.Instance,
+	tup dftp.Tuple, budget float64, faults *dftp.Faults, obj Objective) (sim.Result, *dftp.Report, *dftp.Faults, error) {
+	if faults == nil {
+		res, rep, err := dftp.SolveIn(ctx, m, alg, inst, tup, budget, nil)
+		return res, rep, nil, err
+	}
+	uf, multi := obj.(UnderFaults)
+	if !multi {
+		res, rep, err := dftp.SolveFaulted(ctx, nil, m, alg, inst, tup, budget, faults, nil)
+		return res, rep, faults, err
+	}
+	var (
+		worstRes sim.Result
+		worstRep *dftp.Report
+		worstF   *dftp.Faults
+	)
+	for j := 0; j < uf.draws(); j++ {
+		fj := *faults
+		fj.Seed = rngstream.TrialSeed(faults.Seed, j)
+		res, rep, err := dftp.SolveFaulted(ctx, nil, m, alg, inst, tup, budget, &fj, nil)
+		if err != nil {
+			return res, rep, &fj, err
+		}
+		if worstF == nil || worseDraw(res, worstRes) {
+			worstRes, worstRep, worstF = res, rep, &fj
+		}
+	}
+	return worstRes, worstRep, worstF, nil
+}
+
+// worseDraw reports whether a is a strictly worse draw than b: incomplete
+// wake-ups dominate, then larger makespan.
+func worseDraw(a, b sim.Result) bool {
+	if a.AllAwake != b.AllAwake {
+		return !a.AllAwake
+	}
+	return a.Makespan > b.Makespan
 }
 
 // assemble normalizes the raw runs into a deterministic Result. The winner

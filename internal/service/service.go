@@ -141,6 +141,10 @@ type Solved struct {
 	Sim     time.Duration
 	Marshal time.Duration
 	Total   time.Duration
+	// Repair is the estimated share of Sim spent inside the fault-repair
+	// layer's active window (zero for fault-free runs); it surfaces as a
+	// "repair" child span on kept traces.
+	Repair time.Duration
 	// TraceID is the request's trace identity when one exists: the inbound
 	// ID for HTTP requests, or a minted one if the trace was kept. Empty
 	// means the request was neither externally identified nor kept. It is
@@ -178,6 +182,7 @@ type stageTimes struct {
 	queue   time.Duration
 	sim     time.Duration
 	marshal time.Duration
+	repair  time.Duration
 	// racers is the run's per-racer observation list (portfolio runs with
 	// tracing enabled only), sorted by entrant index. Like the durations
 	// above it is written strictly before close(done).
@@ -234,12 +239,19 @@ type Service struct {
 	simLooks        *obs.Counter
 	simMoves        *obs.Counter
 	simWakes        *obs.Counter
+	repairs         *obs.Counter
+	// faultsInjected maps a fault kind to its dftp_faults_injected_total
+	// series; kinds are a fixed set, preregistered like reqOutcomes.
+	faultsInjected map[string]*obs.Counter
 
 	// Per-stage latency histograms (seconds, power-of-two buckets ~1µs…32s)
-	// plus end-to-end request histograms per endpoint.
+	// plus end-to-end request histograms per endpoint. stageRepair records
+	// the approximate wall share of faulted runs spent inside the repair
+	// layer's active window (zero-fault runs never touch it).
 	stageResolve *obs.Histogram
 	stageQueue   *obs.Histogram
 	stageSim     *obs.Histogram
+	stageRepair  *obs.Histogram
 	stageMarshal *obs.Histogram
 	durSolve     *obs.Histogram
 	durPortfolio *obs.Histogram
@@ -332,11 +344,20 @@ func (s *Service) initObs() {
 	s.simMoves = r.Counter("dftp_sim_moves_total", "Completed robot moves across all completed runs.")
 	s.simWakes = r.Counter("dftp_sim_wakes_total", "Robots awakened across all completed runs.")
 
-	const stageHelp = "Per-stage request latency: resolve (validate + materialize + hash), queue (admission to worker pickup), sim (the simulation or whole race), marshal (response encoding)."
+	const stageHelp = "Per-stage request latency: resolve (validate + materialize + hash), queue (admission to worker pickup), sim (the simulation or whole race), repair (estimated share of sim inside the fault-repair window), marshal (response encoding)."
 	s.stageResolve = r.Histogram("dftp_stage_duration_seconds", stageHelp, histMinExp, histMaxExp, obs.L("stage", "resolve"))
 	s.stageQueue = r.Histogram("dftp_stage_duration_seconds", stageHelp, histMinExp, histMaxExp, obs.L("stage", "queue"))
 	s.stageSim = r.Histogram("dftp_stage_duration_seconds", stageHelp, histMinExp, histMaxExp, obs.L("stage", "sim"))
+	s.stageRepair = r.Histogram("dftp_stage_duration_seconds", stageHelp, histMinExp, histMaxExp, obs.L("stage", "repair"))
 	s.stageMarshal = r.Histogram("dftp_stage_duration_seconds", stageHelp, histMinExp, histMaxExp, obs.L("stage", "marshal"))
+
+	s.repairs = r.Counter("dftp_repairs_total", "Wake-tree repair interventions (rescue dispatches and stalled-process releases) across all completed runs.")
+	s.faultsInjected = make(map[string]*obs.Counter)
+	for _, kind := range []string{"crash-stop", "crash-recovery", "wake-drop", "wake-dup", "byzantine", "roster-skip"} {
+		s.faultsInjected[kind] = r.Counter("dftp_faults_injected_total",
+			"Faults injected into completed runs, by kind (roster-skip counts tolerated stale-roster operations).",
+			obs.L("kind", kind))
+	}
 
 	const durHelp = "End-to-end request latency by endpoint, cache hits included."
 	s.durSolve = r.Histogram("dftp_request_duration_seconds", durHelp, histMinExp, histMaxExp, obs.L("endpoint", "solve"))
@@ -653,13 +674,13 @@ func paramsKey(b []byte, m geom.Metric, inline *instance.Instance, family string
 }
 
 // shapeKey is the memo key of a family-generated request: every scalar that
-// determines the content hash — including the metric's canonical name and
-// any request-level profiles — without materializing the instance. Inline
-// instances are not memoized (their hash already requires walking the
-// points, so there is nothing to save). Family-modifier profiles need no
-// extra key material: they are a deterministic function of the family
-// string, which is already in the key.
-func shapeKey(b []byte, solverName string, m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64, profiles []instance.Profile) ([]byte, bool) {
+// determines the content hash — including the metric's canonical name, any
+// request-level profiles, and the fault specification — without
+// materializing the instance. Inline instances are not memoized (their hash
+// already requires walking the points, so there is nothing to save).
+// Family-modifier profiles need no extra key material: they are a
+// deterministic function of the family string, which is already in the key.
+func shapeKey(b []byte, solverName string, m geom.Metric, inline *instance.Instance, family string, n int, param float64, seed int64, tupJSON *TupleJSON, budget float64, profiles []instance.Profile, faults *dftp.Faults) ([]byte, bool) {
 	if inline != nil || family == "" {
 		return nil, false
 	}
@@ -697,6 +718,12 @@ func shapeKey(b []byte, solverName string, m geom.Metric, inline *instance.Insta
 		b = append(b, ',')
 		b = strconv.AppendUint(b, math.Float64bits(cap), 16)
 	}
+	if faults != nil {
+		// Without this line, a faulted and a fault-free request of the same
+		// shape would alias to one memo entry and serve each other's bytes.
+		b = append(b, "|x"...)
+		b = append(b, faults.Canon()...)
+	}
 	return b, true
 }
 
@@ -709,6 +736,7 @@ type resolved struct {
 	inst   *instance.Instance
 	tup    dftp.Tuple
 	budget float64
+	faults *dftp.Faults
 }
 
 // resolve materializes the instance of req for the given (already
@@ -721,12 +749,13 @@ func (s *Service) resolve(alg dftp.Algorithm, m geom.Metric, req SolveRequest) (
 		return r, err
 	}
 	return resolved{
-		hash:   instance.HashRequestIn(m, alg.Name(), inst, tup.Ell, tup.Rho, tup.N, budget),
+		hash:   instance.HashRequestFaulted(m, alg.Name(), inst, tup.Ell, tup.Rho, tup.N, budget, req.Faults.Canon()),
 		alg:    alg,
 		metric: m,
 		inst:   inst,
 		tup:    tup,
 		budget: budget,
+		faults: req.Faults,
 	}, nil
 }
 
@@ -738,6 +767,7 @@ type resolvedPortfolio struct {
 	inst   *instance.Instance
 	tup    dftp.Tuple
 	budget float64
+	faults *dftp.Faults
 }
 
 // maxPortfolioAlgorithms caps one race's entrant list (duplicates are legal
@@ -782,12 +812,13 @@ func (s *Service) resolvePortfolio(pf portfolio.Portfolio, m geom.Metric, req Po
 		return r, err
 	}
 	return resolvedPortfolio{
-		hash:   instance.HashRequestIn(m, pf.Name(), inst, tup.Ell, tup.Rho, tup.N, budget),
+		hash:   instance.HashRequestFaulted(m, pf.Name(), inst, tup.Ell, tup.Rho, tup.N, budget, req.Faults.Canon()),
 		pf:     pf,
 		metric: m,
 		inst:   inst,
 		tup:    tup,
 		budget: budget,
+		faults: req.Faults,
 	}, nil
 }
 
@@ -816,9 +847,13 @@ func (s *Service) SolveTraced(topt TraceOpt, req SolveRequest) (Solved, error) {
 	if err != nil {
 		return s.finish("solve", s.durSolve, Solved{Resolve: sp.Mark("resolve")}, &sp, topt, err)
 	}
+	if err := req.Faults.Validate(); err != nil {
+		err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return s.finish("solve", s.durSolve, Solved{Resolve: sp.Mark("resolve")}, &sp, topt, err)
+	}
 	s.countShape("solve", alg.Name(), geom.MetricOrL2(m).Name())
 	var kb [128]byte
-	key, keyed := shapeKey(kb[:0], alg.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
+	key, keyed := shapeKey(kb[:0], alg.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles, req.Faults)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
 			sv.Resolve = sp.Mark("resolve")
@@ -838,15 +873,20 @@ func (s *Service) SolveTraced(topt TraceOpt, req SolveRequest) (Solved, error) {
 			rec = trace.New()
 			traceFn = rec.Record
 		}
-		res, rep, err := dftp.SolveArena(context.Background(), ar, r.metric, r.alg, r.inst, r.tup, r.budget, traceFn)
+		res, rep, err := dftp.SolveFaulted(context.Background(), ar, r.metric, r.alg, r.inst, r.tup, r.budget, r.faults, traceFn)
 		ts.sim = rsp.Mark("sim")
 		s.stageSim.Record(ts.sim.Seconds())
 		s.solves.Add(1)
 		if err != nil {
 			return nil, err
 		}
+		if ts.repair = repairShare(res, ts.sim); ts.repair > 0 {
+			s.stageRepair.Record(ts.repair.Seconds())
+		}
 		s.recordSimProbes(res)
-		body, err := json.Marshal(NewSolveResponse(r.hash, r.alg, r.metric, r.inst, r.tup, r.budget, res, rep))
+		out := NewSolveResponse(r.hash, r.alg, r.metric, r.inst, r.tup, r.budget, res, rep)
+		out.Faults = NewFaultsEcho(r.faults, res, r.inst.N())
+		body, err := json.Marshal(out)
 		ts.marshal = rsp.Mark("marshal")
 		s.stageMarshal.Record(ts.marshal.Seconds())
 		if err != nil {
@@ -870,6 +910,32 @@ func (s *Service) recordSimProbes(res sim.Result) {
 	s.simLooks.Add(res.Looks)
 	s.simMoves.Add(res.Moves)
 	s.simWakes.Add(int64(res.Awakened))
+	if f := res.Faults; f.Injected() != 0 || f.RosterSkips != 0 || f.Repairs != 0 {
+		s.faultsInjected["crash-stop"].Add(f.CrashStops)
+		s.faultsInjected["crash-recovery"].Add(f.Recoveries)
+		s.faultsInjected["wake-drop"].Add(f.WakeDrops)
+		s.faultsInjected["wake-dup"].Add(f.WakeDups)
+		s.faultsInjected["byzantine"].Add(f.ByzTakeovers)
+		s.faultsInjected["roster-skip"].Add(f.RosterSkips)
+		s.repairs.Add(f.Repairs)
+	}
+}
+
+// repairShare approximates how much of a faulted run's sim wall time fell
+// inside the repair layer's active window: the virtual-time window scaled by
+// wall/makespan. Zero for fault-free and repair-free runs.
+func repairShare(res sim.Result, sim time.Duration) time.Duration {
+	if res.Faults.Repairs == 0 || res.Makespan <= 0 {
+		return 0
+	}
+	frac := (res.Faults.LastRepair - res.Faults.FirstRepair) / res.Makespan
+	if frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return time.Duration(frac * float64(sim))
 }
 
 // finish closes out one request: it records the resolve-stage and
@@ -923,9 +989,17 @@ func (s *Service) SolvePortfolioTraced(topt TraceOpt, req PortfolioRequest) (Sol
 	if err != nil {
 		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: sp.Mark("resolve")}, &sp, topt, err)
 	}
+	if err := req.Faults.Validate(); err != nil {
+		err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: sp.Mark("resolve")}, &sp, topt, err)
+	}
+	if _, uf := pf.Objective.(portfolio.UnderFaults); uf && req.Faults == nil {
+		err = fmt.Errorf("%w: objective %q needs a faults specification", ErrBadRequest, pf.Objective.Name())
+		return s.finish("portfolio", s.durPortfolio, Solved{Resolve: sp.Mark("resolve")}, &sp, topt, err)
+	}
 	s.countShape("portfolio", pf.Name(), geom.MetricOrL2(m).Name())
 	var kb [128]byte
-	key, keyed := shapeKey(kb[:0], pf.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles)
+	key, keyed := shapeKey(kb[:0], pf.Name(), m, req.Instance, req.Family, req.N, req.Param, req.Seed, req.Tuple, req.Budget, req.Profiles, req.Faults)
 	if keyed {
 		if sv, handled, err := s.memoLookup(key); handled {
 			sv.Resolve = sp.Mark("resolve")
@@ -956,7 +1030,7 @@ func (s *Service) SolvePortfolioTraced(topt TraceOpt, req PortfolioRequest) (Sol
 		}
 		res, err := portfolio.Race(r.pf, r.inst, r.tup, r.budget,
 			portfolio.Options{Workers: s.cfg.Workers, Trace: !s.cfg.DropTraces, Metric: r.metric,
-				Observe: observe})
+				Observe: observe, Faults: r.faults})
 		ts.sim = rsp.Mark("sim")
 		// Race joined all racer goroutines before returning, so racerObs is
 		// complete and safe to read without the mutex here.
@@ -974,8 +1048,13 @@ func (s *Service) SolvePortfolioTraced(topt TraceOpt, req PortfolioRequest) (Sol
 		// Only the winning run's full sim.Result survives the race; losing
 		// runs are summarized into RacerResult scalars, so probe totals
 		// count winner event-loop work only.
+		if ts.repair = repairShare(res.Res, ts.sim); ts.repair > 0 {
+			s.stageRepair.Record(ts.repair.Seconds())
+		}
 		s.recordSimProbes(res.Res)
-		body, err := json.Marshal(NewPortfolioResponse(r.hash, r.pf, r.metric, r.inst, r.tup, r.budget, res))
+		out := NewPortfolioResponse(r.hash, r.pf, r.metric, r.inst, r.tup, r.budget, res)
+		out.Faults = NewFaultsEcho(r.faults, res.Res, r.inst.N())
+		body, err := json.Marshal(out)
 		ts.marshal = rsp.Mark("marshal")
 		s.stageMarshal.Record(ts.marshal.Seconds())
 		if err != nil {
@@ -1025,7 +1104,7 @@ func (s *Service) memoLookup(key []byte) (sv Solved, handled bool, err error) {
 		s.coalesced.Add(1)
 		s.memoHits.Add(1)
 		return Solved{Hash: hash, Body: c.ent.body, Hit: true, Outcome: OutcomeCoalesced,
-			Queue: c.queue, Sim: c.sim, Marshal: c.marshal, racers: c.racers}, true, nil
+			Queue: c.queue, Sim: c.sim, Marshal: c.marshal, Repair: c.repair, racers: c.racers}, true, nil
 	}
 	s.mu.Unlock()
 	return Solved{}, false, nil
@@ -1068,7 +1147,7 @@ func (s *Service) startOrJoin(hash, memoKey string, width int, run func(*stageTi
 		// requests that were actually served an error.
 		s.coalesced.Add(1)
 		return Solved{Hash: hash, Body: c.ent.body, Hit: true, Outcome: OutcomeCoalesced,
-			Queue: c.queue, Sim: c.sim, Marshal: c.marshal, racers: c.racers}, nil
+			Queue: c.queue, Sim: c.sim, Marshal: c.marshal, Repair: c.repair, racers: c.racers}, nil
 	}
 	if s.queueWeight+width > s.cfg.QueueDepth+s.cfg.Workers {
 		s.mu.Unlock()

@@ -146,6 +146,12 @@ func (s *Service) recordTrace(endpoint string, sv *Solved, sp *obs.Span, topt Tr
 		t.Spans = append(t.Spans, obs.TraceSpan{Name: "queue", Start: off, D: sv.Queue})
 		off += sv.Queue
 		t.Spans = append(t.Spans, obs.TraceSpan{Name: "sim", Start: off, D: sv.Sim})
+		if sv.Repair > 0 {
+			// Fault-injected runs: the estimated slice of sim spent inside the
+			// repair layer's active window, right-aligned within the sim span
+			// (repairs concentrate in the run's tail once faults have fired).
+			t.Spans = append(t.Spans, obs.TraceSpan{Name: "repair", Start: off + sv.Sim - sv.Repair, D: sv.Repair})
+		}
 		off += sv.Sim
 		t.Spans = append(t.Spans, obs.TraceSpan{Name: "marshal", Start: off, D: sv.Marshal})
 	}

@@ -34,6 +34,12 @@ type SolveRequest struct {
 	// and is content-addressed — two requests differing only in profiles
 	// hash to different keys.
 	Profiles []instance.Profile `json:"profiles,omitempty"`
+	// Faults, when present, runs the solve under the given fault
+	// specification (validated — malformed specs are a 400) and switches the
+	// request's content address to the dftp-request/v4 form. Absent faults
+	// leave the hash and response bytes exactly as the fault-free wire
+	// format defines them.
+	Faults *dftp.Faults `json:"faults,omitempty"`
 }
 
 // TupleJSON is the wire form of the (ℓ, ρ, n) knowledge tuple.
@@ -67,6 +73,52 @@ type SolveResponse struct {
 	// (omitted for homogeneous solves, keeping their bodies byte-identical
 	// to the pre-profile wire format).
 	Profiles []instance.Profile `json:"profiles,omitempty"`
+	// Faults echoes a faulted solve's specification and injection outcome
+	// (omitted for fault-free solves, keeping their bodies byte-identical to
+	// the fault-free wire format).
+	Faults *FaultsEcho `json:"faults,omitempty"`
+}
+
+// FaultsEcho is the fault section of a faulted solve's response: the
+// specification the run executed — echoed back so clients can confirm what
+// was injected — plus the deterministic injection counters and the resulting
+// completion rate (awakened / n; 1 means the swarm still fully woke).
+type FaultsEcho struct {
+	Spec         dftp.Faults `json:"spec"`
+	Injected     int64       `json:"injected"`
+	CrashStops   int64       `json:"crashStops,omitempty"`
+	Recoveries   int64       `json:"recoveries,omitempty"`
+	WakeDrops    int64       `json:"wakeDrops,omitempty"`
+	WakeDups     int64       `json:"wakeDups,omitempty"`
+	ByzTakeovers int64       `json:"byzTakeovers,omitempty"`
+	RosterSkips  int64       `json:"rosterSkips,omitempty"`
+	Repairs      int64       `json:"repairs"`
+	Completion   float64     `json:"completion"`
+}
+
+// NewFaultsEcho assembles the response's fault section from the spec and the
+// run's deterministic fault counters. Nil spec (a fault-free solve) returns
+// nil, which json omits.
+func NewFaultsEcho(spec *dftp.Faults, res sim.Result, n int) *FaultsEcho {
+	if spec == nil {
+		return nil
+	}
+	f := res.Faults
+	fe := &FaultsEcho{
+		Spec:         *spec,
+		Injected:     f.Injected(),
+		CrashStops:   f.CrashStops,
+		Recoveries:   f.Recoveries,
+		WakeDrops:    f.WakeDrops,
+		WakeDups:     f.WakeDups,
+		ByzTakeovers: f.ByzTakeovers,
+		RosterSkips:  f.RosterSkips,
+		Repairs:      f.Repairs,
+	}
+	if n > 0 {
+		fe.Completion = float64(res.Awakened) / float64(n)
+	}
+	return fe
 }
 
 // Named is anything with a canonical solver name: a dftp.Algorithm, or a
@@ -123,6 +175,10 @@ type PortfolioRequest struct {
 	// Profiles races every entrant under per-robot capability profiles; see
 	// SolveRequest.Profiles for the validation and hashing rules.
 	Profiles []instance.Profile `json:"profiles,omitempty"`
+	// Faults races every entrant under the given fault specification; see
+	// SolveRequest.Faults for the validation and hashing rules. Required by
+	// the min-makespan-under-faults objective.
+	Faults *dftp.Faults `json:"faults,omitempty"`
 }
 
 // RacerStat is one entrant's outcome in a PortfolioResponse. Every field is

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"freezetag/internal/arena"
@@ -41,13 +42,22 @@ type Config struct {
 	Metric geom.Metric
 	// Trace, when non-nil, receives every simulation event in order.
 	Trace func(Event)
+	// Faults, when non-nil, injects the plan's deterministic faults into the
+	// run and switches the engine's roster contracts from panic-on-bug to
+	// tolerate-and-count (see FaultPlan). Nil keeps the fault-free model
+	// bit-identical to the pre-fault engine.
+	Faults *FaultPlan
 }
 
 // Event is a trace record emitted by the engine.
 type Event struct {
 	T     float64
 	Robot int
-	Kind  string // "move", "look", "wake", "spawn", "barrier", "done", "halt"
+	// Kind is "move", "look", "wake", "spawn", "barrier", "done", "halt", or
+	// — under fault injection — "fault-crash", "fault-recover",
+	// "fault-wakedrop", "fault-wakedup", "fault-byz", "fault-roster",
+	// "repair".
+	Kind  string
 	Pos   geom.Point
 	Extra string
 }
@@ -112,6 +122,18 @@ type Engine struct {
 	// scratch holds per-algorithm reusable state keyed by algorithm name
 	// (see ScratchOf); values implementing RunScratch rewind on Reset.
 	scratch map[string]any
+
+	// Fault-injection state (nil/zero on fault-free runs — see faults.go).
+	faults   *FaultPlan
+	wakeRand *rand.Rand // sequential wake-fault stream
+	fstats   FaultStats
+	// wgs registers every WaitGroup built on this engine so ReleaseStalled
+	// can void them; pidSeq numbers processes in spawn order so stalled
+	// releases have a deterministic order.
+	wgs         []*WaitGroup
+	pidSeq      int64
+	firstRepair float64
+	lastRepair  float64
 }
 
 // RunScratch is implemented by scratch values that must rewind between runs;
@@ -315,6 +337,10 @@ func (e *Engine) populate(cfg Config) {
 		}
 	}
 	e.asleepCount = n
+	e.faults = cfg.Faults
+	if cfg.Faults != nil {
+		e.installFaults(cfg.Faults)
+	}
 }
 
 // Reset rewinds a pooled engine for a fresh run over cfg, reusing every
@@ -342,6 +368,12 @@ func (e *Engine) Reset(cfg Config) {
 	e.violations = e.violations[:0]
 	e.running = false
 	e.sight.Reset()
+	e.faults = nil
+	e.wakeRand = nil
+	e.fstats = FaultStats{}
+	e.wgs = e.wgs[:0]
+	e.pidSeq = 0
+	e.firstRepair, e.lastRepair = 0, 0
 	for _, v := range e.scratch {
 		if r, ok := v.(RunScratch); ok {
 			r.ResetRun()
@@ -418,8 +450,25 @@ func (e *Engine) Spawn(id int, fn func(*Proc)) { e.SpawnH(id, HandlerFunc(fn)) }
 // state spawning allocates nothing.
 func (e *Engine) SpawnH(id int, h Handler) {
 	r := e.Robot(id)
-	if r.state != Awake {
+	if r.state != Awake || (e.faults != nil && r.stopped) {
+		if e.faults != nil {
+			// Under injection the roster can go stale between a Look and the
+			// Spawn it motivates (the robot crashed, or its wake was dropped):
+			// absorb the spawn as a counted skip instead of panicking.
+			e.fstats.RosterSkips++
+			e.emit(Event{T: e.now, Robot: id, Kind: "fault-roster", Pos: r.pos, Extra: "spawn"})
+			return
+		}
 		panic(fmt.Sprintf("sim: Spawn on non-awake robot %d", id))
+	}
+	if r.byz && h != nil {
+		// Adversary takeover: the robot's program is replaced by the fault
+		// plan's wander program. The substitution happens at spawn so every
+		// path that hands a Byzantine robot work — wake handlers, repair
+		// rescues — is covered.
+		e.fstats.ByzTakeovers++
+		e.emit(Event{T: e.now, Robot: id, Kind: "fault-byz", Pos: r.pos})
+		h = byzHandler{plan: e.faults}
 	}
 	var p *Proc
 	if n := len(e.procFree); n > 0 {
@@ -431,6 +480,9 @@ func (e *Engine) SpawnH(id int, h Handler) {
 		p = &Proc{eng: e, r: r, resume: make(chan struct{}), fn: h}
 		go p.loop()
 	}
+	p.pid = e.pidSeq
+	e.pidSeq++
+	r.procs++
 	e.push(p, e.now)
 	e.emit(Event{T: e.now, Robot: id, Kind: "spawn", Pos: r.pos})
 }
@@ -478,6 +530,10 @@ type Result struct {
 	Steps int64
 	Looks int64
 	Moves int64
+	// Faults counts the run's injected faults and repair actions; all zero
+	// on a fault-free run. Like the probe counters it is deterministic and
+	// must never be serialized into the byte-locked fault-free wire format.
+	Faults FaultStats
 }
 
 // ErrDeadlock is returned by Run when processes remain parked on a barrier
@@ -536,6 +592,7 @@ func (e *Engine) RunCtx(ctx context.Context) (Result, error) {
 			// Parked indefinitely; the releasing process re-enqueues it.
 			e.parked[msg.p] = struct{}{}
 		case parkDone:
+			msg.p.r.procs--
 			e.emit(Event{T: e.now, Robot: msg.p.r.id, Kind: "done", Pos: msg.p.r.pos})
 			if e.pooled {
 				// The goroutine is looping back to wait for its next body;
@@ -587,7 +644,9 @@ func (e *Engine) result() Result {
 		Steps:         e.steps,
 		Looks:         e.looks,
 		Moves:         e.moves,
+		Faults:        e.fstats,
 	}
+	res.Faults.FirstRepair, res.Faults.LastRepair = e.firstRepair, e.lastRepair
 	if !res.AllAwake {
 		res.Makespan = e.now
 	}

@@ -16,6 +16,7 @@ type Proc struct {
 	resume chan struct{}
 	killed bool    // set by the engine to unwind a deadlocked process
 	fn     Handler // body to run on next resume; cleared once started
+	pid    int64   // spawn sequence number; orders stalled-process releases
 }
 
 // errKilled unwinds a process goroutine that the engine terminated while it
@@ -129,10 +130,20 @@ func (p *Proc) MoveTo(dst geom.Point) error {
 // moveToAt is MoveTo at an explicit speed: Escort uses it to slow a team
 // leader down to the pace of its slowest member.
 func (p *Proc) moveToAt(dst geom.Point, speed float64) error {
+	if p.r.faulty {
+		return p.moveFaulty(dst, speed)
+	}
 	d := p.eng.dist(p.r.pos, dst)
 	if d <= geom.Eps {
 		return nil
 	}
+	return p.moveLeg(dst, d, speed)
+}
+
+// moveLeg finishes a move of metric length d > Eps to dst under the energy
+// budget. It is the shared tail of the fault-free and crash-injected move
+// paths; the fault-free behavior is exactly the pre-fault moveToAt.
+func (p *Proc) moveLeg(dst geom.Point, d, speed float64) error {
 	if left := p.r.remaining(); d > left+geom.Eps {
 		// Partial move to budget exhaustion, then halt.
 		stop := geom.MoveToward(p.eng.metric, p.r.pos, dst, left)
@@ -238,6 +249,10 @@ func (p *Proc) Wake(id int, handler func(*Proc)) {
 // with slab-pooled handlers so that fanning a wave across n robots does not
 // allocate n closures.
 func (p *Proc) WakeH(id int, handler Handler) {
+	if p.eng.faults != nil {
+		p.wakeFaulted(id, handler)
+		return
+	}
 	r := p.eng.Robot(id)
 	if r.state != Asleep {
 		panic(fmt.Sprintf("sim: robot %d is not asleep", id))
@@ -263,14 +278,25 @@ func (p *Proc) WakeH(id int, handler Handler) {
 // holds the ids that completed the move (the caller is not listed). A caller
 // budget exhaustion returns the error and moves nobody further.
 func (p *Proc) Escort(ids []int, dst geom.Point) ([]int, error) {
-	d := p.eng.dist(p.r.pos, dst)
+	start := p.r.pos
+	d := p.eng.dist(start, dst)
 	speed := p.r.speed
+	faulted := p.eng.faults != nil
 	for _, id := range ids {
 		r := p.eng.Robot(id)
 		if r.stopped {
 			// Halted by an earlier budget exhaustion (already recorded as a
 			// violation): the team leaves it where it died rather than
 			// treating the stale roster entry as an algorithm bug.
+			continue
+		}
+		if faulted && (r.state != Awake || !r.pos.Eq(start)) {
+			// Under fault injection a stale roster entry is a runtime
+			// condition (a crash or repair raced this team's bookkeeping):
+			// the member is left behind and counted, not panicked over.
+			p.eng.fstats.RosterSkips++
+			p.eng.emit(Event{T: p.eng.now, Robot: p.r.id, Kind: "fault-roster", Pos: p.r.pos,
+				Extra: fmt.Sprintf("escort %d", id)})
 			continue
 		}
 		if r.state != Awake {
@@ -291,6 +317,14 @@ func (p *Proc) Escort(ids []int, dst geom.Point) ([]int, error) {
 	for _, id := range ids {
 		r := p.eng.Robot(id)
 		if r.stopped {
+			continue
+		}
+		if faulted && (r.state != Awake || !r.pos.Eq(start)) {
+			// Skipped above (members are passive, so the invalid set cannot
+			// change while the leader moves); already counted there.
+			continue
+		}
+		if faulted && r.faulty && p.escortCrash(r, dst, d) {
 			continue
 		}
 		if d > r.remaining()+geom.Eps {

@@ -25,6 +25,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"freezetag/internal/geom"
 )
@@ -66,7 +67,17 @@ type Robot struct {
 	budget  float64 // energy budget B; +Inf when unconstrained
 	speed   float64 // travel speed (distance δ takes time δ/speed); 1 in the homogeneous model
 	wakeAt  float64 // virtual time of awakening; 0 for the source
-	stopped bool    // true once the robot's energy budget was exhausted
+	stopped bool    // true once the robot's energy budget was exhausted or it crash-stopped
+
+	// Fault-injection state, populated by Engine.installFaults; all zero on
+	// fault-free runs (populate overwrites the whole record, so pooled
+	// engines cannot leak fault state between jobs).
+	faulty    bool       // carries a crash assignment (crash-stop or crash-recovery)
+	crashAt   float64    // odometer reading at which the next crash fires
+	downUntil float64    // 0 = up; +Inf = crash-stopped; else outage end time
+	frnd      *rand.Rand // private fault stream (crash redraws, downtimes)
+	byz       bool       // adversary-controlled
+	procs     int        // live processes on this robot
 }
 
 // ID returns the robot's identifier.
@@ -95,6 +106,11 @@ func (r *Robot) Speed() float64 { return r.speed }
 // WakeTime returns the virtual time at which the robot was awakened. Zero for
 // the source and for robots still asleep (check State to distinguish).
 func (r *Robot) WakeTime() float64 { return r.wakeAt }
+
+// Halted reports whether the robot is permanently down: its energy budget
+// was exhausted or an injected crash-stop fired. Repair code uses it to
+// exclude dead robots from rescue duty.
+func (r *Robot) Halted() bool { return r.stopped }
 
 // remaining returns the budget left, +Inf when unconstrained.
 func (r *Robot) remaining() float64 {

@@ -15,8 +15,14 @@ type WaitGroup struct {
 	waiters []*Proc
 }
 
-// NewWaitGroup returns an empty WaitGroup bound to the engine.
-func (e *Engine) NewWaitGroup() *WaitGroup { return &WaitGroup{eng: e} }
+// NewWaitGroup returns an empty WaitGroup bound to the engine. The group is
+// registered with the engine so a fault-repair ReleaseStalled can void it
+// (the registry is rewound on Reset).
+func (e *Engine) NewWaitGroup() *WaitGroup {
+	w := &WaitGroup{eng: e}
+	e.wgs = append(e.wgs, w)
+	return w
+}
 
 // Add increments the outstanding count by n > 0.
 func (w *WaitGroup) Add(n int) {
@@ -30,6 +36,11 @@ func (w *WaitGroup) Add(n int) {
 // it reaches zero.
 func (w *WaitGroup) Done() {
 	if w.count <= 0 {
+		if w.eng.faults != nil {
+			// A stalled-process release (fault repair) already zeroed this
+			// group; late Done calls from released branches are absorbed.
+			return
+		}
 		panic(fmt.Sprintf("sim: WaitGroup.Done below zero (count=%d)", w.count))
 	}
 	w.count--

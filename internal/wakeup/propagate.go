@@ -45,7 +45,16 @@ func (h *propHandler) RunProc(q *sim.Proc) {
 // Propagate is the package-level Propagate drawing its per-wake handlers
 // from the Builder's slab. The walk, the wake order, and every spawned
 // process are identical; only the handler storage differs.
+//
+// Under a fault plan with an armed repair layer (InstallRepair) the
+// propagation switches to the watched variant; the fault-free path below is
+// untouched, keeping fault-free runs bit-identical.
 func (b *Builder) Propagate(p *sim.Proc, root *Node, cont func(*sim.Proc)) error {
+	if e := p.Engine(); e.FaultsEnabled() {
+		if rp := repairerOf(e); rp.installed {
+			return b.propagateRepair(p, root, cont, rp)
+		}
+	}
 	node := root
 	for node != nil {
 		if err := p.MoveTo(node.Pos); err != nil {
